@@ -1,0 +1,231 @@
+package inpg_test
+
+// One benchmark per table/figure of the paper's evaluation (DESIGN.md §3).
+// Each bench regenerates its figure at reduced scale and reports the
+// figure's headline quantities as custom metrics, so `go test -bench=.`
+// doubles as a quick reproduction pass. cmd/inpgbench produces the
+// full-size tables.
+
+import (
+	"testing"
+
+	"inpg"
+	"inpg/internal/experiments"
+)
+
+// benchOpts shrinks runs to benchmark-friendly sizes.
+func benchOpts() experiments.Options {
+	o := experiments.DefaultOptions()
+	o.Quick = true
+	return o
+}
+
+// BenchmarkTable1PlatformBuild measures construction of the full Table 1
+// platform (64 routers, NIs, L1s, directories, memory controllers).
+func BenchmarkTable1PlatformBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := inpg.DefaultConfig()
+		if _, err := inpg.New(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2LCOPercent regenerates Figure 2 (LCO share per primitive)
+// for one program and reports the TAS and MCS percentages — the two ends
+// of the paper's ordering.
+func BenchmarkFig2LCOPercent(b *testing.B) {
+	o := benchOpts()
+	var tas, mcs float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig2(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tas = r.LCOPercent[0][0]
+		mcs = r.LCOPercent[0][3]
+	}
+	b.ReportMetric(tas, "LCO%/TAS")
+	b.ReportMetric(mcs, "LCO%/MCS")
+}
+
+// BenchmarkFig7ChipModel regenerates the synthesis summary (pure
+// arithmetic; exists so every figure has a bench target).
+func BenchmarkFig7ChipModel(b *testing.B) {
+	var overhead float64
+	for i := 0; i < b.N; i++ {
+		overhead = experiments.Fig7().PacketGenOverhead
+	}
+	b.ReportMetric(100*overhead, "pktgen-power-%")
+}
+
+// BenchmarkFig8CSCharacteristics runs the benchmark characterization for
+// the three Figure 2 programs' group representatives.
+func BenchmarkFig8CSCharacteristics(b *testing.B) {
+	o := benchOpts()
+	var coh float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig8(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		coh = r.Rows[len(r.Rows)-1].COHShare()
+	}
+	b.ReportMetric(100*coh, "COH-share-%/heaviest")
+}
+
+// BenchmarkFig9Timeline regenerates the freqmine execution profile and
+// reports iNPG+OCOR's progress over Original.
+func BenchmarkFig9Timeline(b *testing.B) {
+	o := benchOpts()
+	var progress float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig9(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		progress = r.Cases[3].ProgressVsOriginal
+	}
+	b.ReportMetric(progress, "progress-x/iNPG+OCOR")
+}
+
+// BenchmarkFig10RoundTrip regenerates the Inv-Ack round-trip comparison
+// and reports the paper's headline: mean RTT for Original vs iNPG.
+func BenchmarkFig10RoundTrip(b *testing.B) {
+	o := benchOpts()
+	var orig, with float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig10(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		orig = r.Cases[0].MeanRTT
+		with = r.Cases[1].MeanRTT
+	}
+	b.ReportMetric(orig, "rtt/Original")
+	b.ReportMetric(with, "rtt/iNPG")
+}
+
+// benchSuite caches the shared Figure 11/12 sweep across both benches.
+var benchSuiteCache *experiments.SuiteResult
+
+func benchSuite(b *testing.B) *experiments.SuiteResult {
+	b.Helper()
+	if benchSuiteCache == nil {
+		o := benchOpts()
+		s, err := experiments.RunSuite(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSuiteCache = s
+	}
+	return benchSuiteCache
+}
+
+// BenchmarkFig11CSExpedition reports mean CS expedition per mechanism.
+func BenchmarkFig11CSExpedition(b *testing.B) {
+	var ocor, inpgx float64
+	for i := 0; i < b.N; i++ {
+		s := benchSuite(b)
+		ocor = s.GroupMeanExpedition(0, 1)
+		inpgx = s.GroupMeanExpedition(0, 2)
+	}
+	b.ReportMetric(ocor, "cs-x/OCOR")
+	b.ReportMetric(inpgx, "cs-x/iNPG")
+}
+
+// BenchmarkFig12ROIFinishTime reports mean normalized ROI finish time.
+func BenchmarkFig12ROIFinishTime(b *testing.B) {
+	var ocor, inpgx float64
+	for i := 0; i < b.N; i++ {
+		s := benchSuite(b)
+		ocor = s.GroupMeanROI(0, 1)
+		inpgx = s.GroupMeanROI(0, 2)
+	}
+	b.ReportMetric(ocor, "roi-%/OCOR")
+	b.ReportMetric(inpgx, "roi-%/iNPG")
+}
+
+// BenchmarkFig13LockPrimitives reports iNPG's mean ROI reduction for the
+// extreme primitives (TAS and MCS).
+func BenchmarkFig13LockPrimitives(b *testing.B) {
+	o := benchOpts()
+	var tas, mcs float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig13(o, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tas = r.MeanReductionPct[0]
+		mcs = r.MeanReductionPct[3]
+	}
+	b.ReportMetric(tas, "roi-red-%/TAS")
+	b.ReportMetric(mcs, "roi-red-%/MCS")
+}
+
+// BenchmarkFig14Deployment reports CS expedition at 32 big routers.
+func BenchmarkFig14Deployment(b *testing.B) {
+	o := benchOpts()
+	var at32 float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig14(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		at32 = r.Mean[3]
+	}
+	b.ReportMetric(at32, "cs-x/32BR")
+}
+
+// BenchmarkFig15Sensitivity reports iNPG's ROI reduction on the default
+// 8×8/16-entry configuration cell of the sensitivity matrix.
+func BenchmarkFig15Sensitivity(b *testing.B) {
+	o := benchOpts()
+	var cell float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig15(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cell = r.Reduction[2][1] // 8×8, 16 entries
+	}
+	b.ReportMetric(cell, "roi-red-%/8x8-16e")
+}
+
+// BenchmarkSimulatorThroughput measures raw simulation speed: simulated
+// cycles per second on the contended Table 1 platform.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		cfg := inpg.DefaultConfig()
+		cfg.CSPerThread = 3
+		cfg.CSCycles = 100
+		cfg.ParallelCycles = 1500
+		cfg.Seed = int64(i + 1)
+		sys, err := inpg.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := sys.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += res.Runtime
+	}
+	b.ReportMetric(float64(cycles)/float64(b.N), "sim-cycles/run")
+}
+
+// BenchmarkAblationBarrierTTL runs the barrier-TTL ablation and reports
+// the RTT at the paper's default TTL.
+func BenchmarkAblationBarrierTTL(b *testing.B) {
+	o := benchOpts()
+	var rtt float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationBarrierTTL(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rtt = r.Rows[2].RTTMean // ttl=128
+	}
+	b.ReportMetric(rtt, "rtt/ttl128")
+}

@@ -1,0 +1,157 @@
+// Command inpgbench regenerates the paper's tables and figures. Each
+// figure of the evaluation section has a runner in internal/experiments;
+// this command executes the requested ones and prints paper-style tables.
+//
+// Examples:
+//
+//	inpgbench -fig t1          # Table 1 platform configuration
+//	inpgbench -fig 10          # Figure 10 round-trip maps and histograms
+//	inpgbench -fig 11,12       # the shared 24-program × 4-mechanism suite
+//	inpgbench -all             # everything (several minutes)
+//	inpgbench -all -quick      # reduced-size runs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"inpg/internal/experiments"
+	"inpg/internal/report"
+)
+
+func main() {
+	var (
+		fig   = flag.String("fig", "", "comma-separated figure list: t1,2,7,8,9,10,11,12,13,14,15,abl")
+		all   = flag.Bool("all", false, "run every figure")
+		quick = flag.Bool("quick", false, "smaller runs (for smoke testing)")
+		full  = flag.Bool("full13", false, "run Figure 13 over all 24 programs instead of 9")
+		scale = flag.Float64("scale", 0.05, "ROI critical-section scale factor")
+		seed  = flag.Int64("seed", 42, "random seed")
+		seeds = flag.Int("seeds", 1, "seeds to average over (figures 11/12)")
+		out   = flag.String("out", "", "directory for CSV exports (suite + RTT histograms)")
+	)
+	flag.Parse()
+
+	o := experiments.Options{Scale: *scale, Seed: *seed, Seeds: *seeds, Quick: *quick}
+	want := map[string]bool{}
+	if *all {
+		for _, f := range []string{"t1", "2", "7", "8", "9", "10", "11", "12", "13", "14", "15", "abl"} {
+			want[f] = true
+		}
+	} else if *fig == "" {
+		flag.Usage()
+		os.Exit(2)
+	} else {
+		for _, f := range strings.Split(*fig, ",") {
+			want[strings.TrimSpace(f)] = true
+		}
+	}
+
+	show := func(name string, run func() (string, error)) {
+		if !want[name] {
+			return
+		}
+		start := time.Now()
+		out, err := run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "inpgbench: figure %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+		fmt.Printf("[figure %s regenerated in %.1fs]\n\n", name, time.Since(start).Seconds())
+	}
+
+	show("t1", func() (string, error) { return experiments.Table1(), nil })
+	show("2", func() (string, error) {
+		r, err := experiments.Fig2(o)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	})
+	show("7", func() (string, error) { return experiments.Fig7().Render(), nil })
+	show("8", func() (string, error) {
+		r, err := experiments.Fig8(o)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	})
+	show("9", func() (string, error) {
+		r, err := experiments.Fig9(o)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	})
+	show("10", func() (string, error) {
+		r, err := experiments.Fig10(o)
+		if err != nil {
+			return "", err
+		}
+		if *out != "" {
+			if err := report.SaveAll(*out, nil, r); err != nil {
+				return "", err
+			}
+		}
+		return r.Render(), nil
+	})
+	// Figures 11 and 12 read the same 96-run sweep; run it once.
+	if want["11"] || want["12"] {
+		start := time.Now()
+		suite, err := experiments.RunSuite(o)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "inpgbench: suite:", err)
+			os.Exit(1)
+		}
+		if want["11"] {
+			fmt.Println(suite.RenderFig11())
+		}
+		if want["12"] {
+			fmt.Println(suite.RenderFig12())
+		}
+		if *out != "" {
+			if err := report.SaveAll(*out, suite, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "inpgbench: export:", err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("[figures 11/12 regenerated in %.1fs]\n\n", time.Since(start).Seconds())
+	}
+	show("13", func() (string, error) {
+		r, err := experiments.Fig13(o, *full)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	})
+	show("14", func() (string, error) {
+		r, err := experiments.Fig14(o)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	})
+	show("15", func() (string, error) {
+		r, err := experiments.Fig15(o)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	})
+	show("abl", func() (string, error) {
+		rs, err := experiments.Ablations(o)
+		if err != nil {
+			return "", err
+		}
+		var b strings.Builder
+		for _, r := range rs {
+			b.WriteString(r.Render())
+			b.WriteByte('\n')
+		}
+		return b.String(), nil
+	})
+}

@@ -1,0 +1,113 @@
+// Command inpgsim runs a single iNPG simulation and reports its results:
+// phase breakdown, lock-coherence overhead, invalidation round trips and
+// critical-section throughput.
+//
+// Examples:
+//
+//	inpgsim -mech iNPG -lock TAS -cs 8 -parallel 2000
+//	inpgsim -mesh 4 -mech Original -lock MCS -v
+//	inpgsim -program kdtree -mech iNPG+OCOR
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"inpg"
+	"inpg/internal/experiments"
+	"inpg/internal/report"
+	"inpg/internal/workload"
+)
+
+func main() {
+	var (
+		mechName = flag.String("mech", "Original", "mechanism: Original, OCOR, iNPG, iNPG+OCOR")
+		lockName = flag.String("lock", "QSL", "lock primitive: TAS, TTL, ABQL, MCS, QSL")
+		program  = flag.String("program", "", "workload profile name (overrides -cs/-cscyc/-parallel)")
+		mesh     = flag.Int("mesh", 8, "mesh dimension (mesh x mesh cores)")
+		cs       = flag.Int("cs", 8, "critical sections per thread")
+		csCycles = flag.Int("cscyc", 100, "mean critical-section length in cycles")
+		parallel = flag.Int("parallel", 2000, "mean parallel compute between CS in cycles")
+		brs      = flag.Int("bigrouters", -1, "big routers for iNPG (-1 = half the nodes)")
+		barrier  = flag.Int("barrier", 0, "locking barrier table entries (0 = default 16)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		verbose  = flag.Bool("v", false, "print per-thread breakdown")
+		asJSON   = flag.Bool("json", false, "emit the result summary as JSON")
+		listProg = flag.Bool("list", false, "list workload profiles and exit")
+	)
+	flag.Parse()
+
+	if *listProg {
+		for _, p := range workload.Profiles() {
+			fmt.Println(p)
+		}
+		return
+	}
+
+	mech, err := inpg.ParseMechanism(*mechName)
+	fatal(err)
+	lk, err := inpg.ParseLockKind(*lockName)
+	fatal(err)
+
+	var cfg inpg.Config
+	if *program != "" {
+		p, err := workload.ByName(*program)
+		fatal(err)
+		cfg = experiments.ConfigFor(p, mech, lk, experiments.Options{Scale: 0.05, Seed: *seed})
+	} else {
+		cfg = inpg.DefaultConfig()
+		cfg.Mechanism = mech
+		cfg.Lock = lk
+		cfg.CSPerThread = *cs
+		cfg.CSCycles = *csCycles
+		cfg.CSJitter = *csCycles / 3
+		cfg.ParallelCycles = *parallel
+		cfg.ParallelJitter = *parallel / 4
+		cfg.Seed = *seed
+	}
+	cfg.MeshWidth, cfg.MeshHeight = *mesh, *mesh
+	cfg.BigRouters = *brs
+	cfg.BarrierEntries = *barrier
+
+	sys, err := inpg.New(cfg)
+	fatal(err)
+	res, err := sys.Run()
+	fatal(err)
+
+	if *asJSON {
+		fatal(report.WriteJSON(os.Stdout, report.Summarize(cfg, res)))
+		return
+	}
+
+	fmt.Printf("mechanism      %s, lock %s, %dx%d mesh, %d threads\n",
+		mech, lk, cfg.MeshWidth, cfg.MeshHeight, res.Threads)
+	fmt.Printf("ROI runtime    %d cycles\n", res.Runtime)
+	fmt.Printf("CS completed   %d\n", res.CSCompleted)
+	total := float64(res.Parallel + res.COH + res.Sleep + res.CSE)
+	if total > 0 {
+		fmt.Printf("phase split    parallel %.1f%%  COH %.1f%% (sleep %.1f%%)  CSE %.1f%%\n",
+			100*float64(res.Parallel)/total, 100*float64(res.COH+res.Sleep)/total,
+			100*float64(res.Sleep)/total, 100*float64(res.CSE)/total)
+	}
+	fmt.Printf("LCO            %.1f%% of aggregate thread time\n", res.LCOPercent)
+	fmt.Printf("Inv-Ack RTT    mean %.1f cycles, max %d (%d samples)\n", res.RTTMean, res.RTTMax, res.RTTSamples)
+	fmt.Printf("net latency    %.1f cycles mean\n", res.NetMeanLatency)
+	if res.Stopped > 0 {
+		fmt.Printf("iNPG           %d lock requests stopped, %d early invalidations\n", res.Stopped, res.EarlyInvs)
+	}
+	if *verbose {
+		fmt.Println("\nper-thread breakdown:")
+		for _, t := range res.PerThread {
+			fmt.Printf("  thread %2d: parallel %8d  coh %8d  sleep %8d  cse %7d  cs %d  sleeps %d\n",
+				t.ID, t.Parallel, t.COH, t.Sleep, t.CSE, t.CSCompleted, t.Sleeps)
+		}
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "inpgsim:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,52 @@
+// Lockcompare reproduces the paper's Section 2 motivation on a workload of
+// your choosing: run the same program under all five locking primitives
+// and compare lock coherence overhead, competition overhead and runtime —
+// then show what iNPG does to each primitive (Figure 13's question).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"inpg"
+)
+
+func main() {
+	var (
+		cs       = flag.Int("cs", 5, "critical sections per thread")
+		csCycles = flag.Int("cscyc", 120, "mean CS length (cycles)")
+		parallel = flag.Int("parallel", 4000, "mean parallel span (cycles)")
+		mesh     = flag.Int("mesh", 8, "mesh dimension")
+	)
+	flag.Parse()
+
+	fmt.Printf("%-5s %12s %12s %8s %10s | %12s %10s\n",
+		"lock", "runtime", "COH", "LCO%", "rtt", "iNPG runtime", "iNPG rtt")
+	for _, lk := range inpg.LockKinds {
+		row := make(map[inpg.Mechanism]*inpg.Results)
+		for _, mech := range []inpg.Mechanism{inpg.Original, inpg.INPG} {
+			cfg := inpg.DefaultConfig()
+			cfg.MeshWidth, cfg.MeshHeight = *mesh, *mesh
+			cfg.Lock = lk
+			cfg.Mechanism = mech
+			cfg.CSPerThread = *cs
+			cfg.CSCycles = *csCycles
+			cfg.CSJitter = *csCycles / 3
+			cfg.ParallelCycles = *parallel
+			cfg.ParallelJitter = *parallel / 4
+			sys, err := inpg.New(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := sys.Run()
+			if err != nil {
+				log.Fatalf("%s/%s: %v", lk, mech, err)
+			}
+			row[mech] = res
+		}
+		o, n := row[inpg.Original], row[inpg.INPG]
+		fmt.Printf("%-5s %12d %12d %7.1f%% %10.1f | %12d %10.1f\n",
+			lk, o.Runtime, o.COHTotal(), o.LCOPercent, o.RTTMean, n.Runtime, n.RTTMean)
+	}
+}

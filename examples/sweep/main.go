@@ -1,0 +1,73 @@
+// Sweep explores iNPG's sensitivity the way Figures 14 and 15 do: vary the
+// number of deployed big routers and the mesh dimension, and watch the
+// invalidation round trips and competition overhead respond.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"inpg"
+)
+
+func run(cfg inpg.Config) *inpg.Results {
+	sys, err := inpg.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sys.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
+func main() {
+	var csCycles = flag.Int("cscyc", 120, "mean CS length (cycles)")
+	flag.Parse()
+
+	fmt.Println("== big-router deployment sweep (8x8, TAS) ==")
+	fmt.Printf("%8s %12s %10s %12s\n", "routers", "runtime", "rtt mean", "early invs")
+	for _, n := range []int{0, 4, 16, 32, 64} {
+		cfg := inpg.DefaultConfig()
+		cfg.Lock = inpg.LockTAS
+		cfg.Mechanism = inpg.INPG
+		if n == 0 {
+			cfg.Mechanism = inpg.Original
+		}
+		cfg.BigRouters = n
+		cfg.CSPerThread = 4
+		cfg.CSCycles = *csCycles
+		cfg.CSJitter = *csCycles / 3
+		cfg.ParallelCycles = 3000
+		cfg.ParallelJitter = 800
+		res := run(cfg)
+		fmt.Printf("%8d %12d %10.1f %12d\n", n, res.Runtime, res.RTTMean, res.EarlyInvs)
+	}
+
+	fmt.Println()
+	fmt.Println("== mesh dimension sweep (half the routers big, TAS) ==")
+	fmt.Printf("%8s %12s %12s %10s %12s\n", "mesh", "orig rtt", "inpg rtt", "saved", "early invs")
+	for _, d := range []int{4, 8, 16} {
+		mk := func(mech inpg.Mechanism) *inpg.Results {
+			cfg := inpg.DefaultConfig()
+			cfg.MeshWidth, cfg.MeshHeight = d, d
+			cfg.Lock = inpg.LockTAS
+			cfg.Mechanism = mech
+			cfg.CSPerThread = 3
+			cfg.CSCycles = *csCycles
+			cfg.CSJitter = *csCycles / 3
+			cfg.ParallelCycles = 3000
+			cfg.ParallelJitter = 800
+			return run(cfg)
+		}
+		o := mk(inpg.Original)
+		n := mk(inpg.INPG)
+		saved := 0.0
+		if o.RTTMean > 0 {
+			saved = 100 * (1 - n.RTTMean/o.RTTMean)
+		}
+		fmt.Printf("%5dx%-2d %12.1f %12.1f %9.1f%% %12d\n", d, d, o.RTTMean, n.RTTMean, saved, n.EarlyInvs)
+	}
+}

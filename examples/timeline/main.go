@@ -1,0 +1,64 @@
+// Timeline renders a Figure 9-style execution profile: per-thread phase
+// traces (parallel / competition / critical section) for the first threads
+// of a contended run, as an ASCII strip chart.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"inpg"
+	"inpg/internal/sim"
+)
+
+func main() {
+	var (
+		mechName = flag.String("mech", "iNPG", "mechanism")
+		threads  = flag.Int("threads", 8, "threads to draw")
+		window   = flag.Int("window", 20000, "cycles to draw")
+		width    = flag.Int("width", 100, "chart width in characters")
+	)
+	flag.Parse()
+
+	mech, err := inpg.ParseMechanism(*mechName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := inpg.DefaultConfig()
+	cfg.Mechanism = mech
+	cfg.Lock = inpg.LockQSL
+	cfg.CSPerThread = 6
+	cfg.CSCycles = 150
+	cfg.CSJitter = 50
+	cfg.ParallelCycles = 2000
+	cfg.ParallelJitter = 600
+	cfg.RecordTimeline = true
+	cfg.TimelineThreads = *threads
+
+	sys, err := inpg.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sys.Run(); err != nil {
+		log.Fatal(err)
+	}
+
+	tl := sys.Timeline()
+	start := sim.Cycle(1000)
+	end := start + sim.Cycle(*window)
+	perCol := (end - start) / sim.Cycle(*width)
+	if perCol == 0 {
+		perCol = 1
+	}
+
+	fmt.Printf("%s: threads 0-%d, cycles %d-%d ('.' parallel, 'c' competition, 'z' sleep, '#' critical section)\n\n",
+		mech, *threads-1, start, end)
+	fmt.Print(tl.StripChart(start, end, *threads, *width))
+	p, c, e, cs := tl.WindowBreakdown(start, end, *threads)
+	tot := p + c + e
+	if tot > 0 {
+		fmt.Printf("\nwindow: parallel %.1f%%  COH %.1f%%  CSE %.1f%%  (%d critical sections completed)\n",
+			100*float64(p)/float64(tot), 100*float64(c)/float64(tot), 100*float64(e)/float64(tot), cs)
+	}
+}

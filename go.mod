@@ -1,0 +1,3 @@
+module inpg
+
+go 1.22

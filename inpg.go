@@ -1,0 +1,588 @@
+// Package inpg is a full-system reproduction of "iNPG: Accelerating
+// Critical Section Access with In-Network Packet Generation for NoC Based
+// Many-Cores" (Yao & Lu, HPCA 2018).
+//
+// It assembles, from scratch and in pure Go, the substrate the paper
+// evaluates on — a mesh NoC with virtual-channel wormhole routers, a
+// directory-based MOESI coherence protocol over private L1s and a banked
+// shared L2, memory controllers, and per-core threads executing five
+// different locking primitives — plus the paper's two mechanisms: OCOR
+// (priority-arbitration competition-overhead reduction, the ISCA'16
+// baseline) and iNPG ("big" routers that generate early invalidation
+// packets in-network).
+//
+// The typical entry point is Config → New → System.Run → Results:
+//
+//	cfg := inpg.DefaultConfig()
+//	cfg.Mechanism = inpg.INPG
+//	cfg.Lock = inpg.LockTAS
+//	sys, err := inpg.New(cfg)
+//	if err != nil { ... }
+//	res, err := sys.Run()
+//
+// Results carries the paper's measured quantities: phase breakdowns
+// (parallel / competition overhead / critical-section execution),
+// lock-coherence-overhead share, invalidation round-trip statistics, and
+// critical-section throughput. The regeneration harness for every figure
+// of the paper lives in internal/experiments and is driven by
+// cmd/inpgbench and the root benchmark suite.
+package inpg
+
+import (
+	"fmt"
+
+	"inpg/internal/bigrouter"
+	"inpg/internal/chipmodel"
+	"inpg/internal/coherence"
+	"inpg/internal/cpu"
+	"inpg/internal/lock"
+	"inpg/internal/noc"
+	"inpg/internal/sim"
+	"inpg/internal/stats"
+	"inpg/internal/trace"
+	"math/rand"
+)
+
+// Mechanism selects the comparative case of the evaluation (Section 5.1).
+type Mechanism int
+
+// The four comparative cases.
+const (
+	// Original is the unmodified baseline architecture.
+	Original Mechanism = iota
+	// OCOR adds remaining-times-of-retry priority arbitration in the NoC.
+	OCOR
+	// INPG deploys big routers performing in-network packet generation.
+	INPG
+	// INPGOCOR combines both mechanisms.
+	INPGOCOR
+)
+
+// Mechanisms lists the four cases in presentation order.
+var Mechanisms = []Mechanism{Original, OCOR, INPG, INPGOCOR}
+
+// String names the mechanism as in the paper's figures.
+func (m Mechanism) String() string {
+	switch m {
+	case Original:
+		return "Original"
+	case OCOR:
+		return "OCOR"
+	case INPG:
+		return "iNPG"
+	case INPGOCOR:
+		return "iNPG+OCOR"
+	}
+	return fmt.Sprintf("Mechanism(%d)", int(m))
+}
+
+// ParseMechanism resolves a mechanism name.
+func ParseMechanism(s string) (Mechanism, error) {
+	for _, m := range Mechanisms {
+		if m.String() == s {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("inpg: unknown mechanism %q", s)
+}
+
+// usesINPG reports whether big routers are deployed.
+func (m Mechanism) usesINPG() bool { return m == INPG || m == INPGOCOR }
+
+// usesOCOR reports whether priority arbitration is enabled.
+func (m Mechanism) usesOCOR() bool { return m == OCOR || m == INPGOCOR }
+
+// LockKind selects the locking primitive.
+type LockKind int
+
+// The five locking primitives (Section 2.1).
+const (
+	LockTAS LockKind = iota
+	LockTTL
+	LockABQL
+	LockMCS
+	LockQSL
+	// LockCLH is an extension beyond the paper: the Craig/Landin-Hagersten
+	// predecessor-spinning queue lock.
+	LockCLH
+)
+
+// LockKinds lists the paper's primitives; LockCLH is an extension and is
+// excluded from paper-reproduction sweeps.
+var LockKinds = []LockKind{LockTAS, LockTTL, LockABQL, LockMCS, LockQSL}
+
+// String names the primitive.
+func (k LockKind) String() string { return lock.Kind(k).String() }
+
+// ParseLockKind resolves a primitive name.
+func ParseLockKind(s string) (LockKind, error) {
+	k, err := lock.ParseKind(s)
+	return LockKind(k), err
+}
+
+// Config describes one simulation. The zero value is not usable; start
+// from DefaultConfig.
+type Config struct {
+	// MeshWidth and MeshHeight size the 2D mesh (Table 1: 8×8).
+	MeshWidth, MeshHeight int
+	// Threads is the number of competing threads, one per core starting
+	// at node 0. Zero means one thread on every core.
+	Threads int
+
+	Lock      LockKind
+	Mechanism Mechanism
+
+	// BigRouters is the number of deployed big routers for iNPG
+	// mechanisms; -1 selects the paper's default of half the nodes.
+	BigRouters int
+	// BarrierEntries sizes the locking barrier table (lock barriers and
+	// EI entries); 0 selects the default of 16.
+	BarrierEntries int
+	// BarrierTTL is the barrier time-to-live in cycles; 0 selects 128.
+	BarrierTTL int
+
+	// LockHomeNode pins the home L2 bank of the primary lock variable;
+	// -1 selects the paper's Figure 10 position (core (5,6)) when it
+	// exists, else the mesh center.
+	LockHomeNode int
+
+	// LockCount creates that many independent locks (homes spread across
+	// the chip beyond the primary); each thread picks one uniformly per
+	// critical section. Values ≤ 1 mean the single global lock of the
+	// paper's hot-lock scenarios. Multiple concurrent locks are what
+	// exercise the big routers' multi-entry barrier tables (Figure 15).
+	LockCount int
+
+	// BarrierEvery, when positive, inserts a global synchronization
+	// barrier (Figure 1's synchronization points) after every BarrierEvery
+	// critical sections per thread.
+	BarrierEvery int
+
+	// Workload shape (per thread): CSPerThread critical sections of
+	// CSCycles±CSJitter cycles separated by ParallelCycles±ParallelJitter
+	// of parallel compute.
+	CSPerThread    int
+	CSCycles       int
+	CSJitter       int
+	ParallelCycles int
+	ParallelJitter int
+
+	// QSLRetries, CtxSwitchCycles and WakeupCycles tune the queue
+	// spin-lock; zero selects defaults (128 / 600 / 300).
+	QSLRetries      int
+	CtxSwitchCycles int
+	WakeupCycles    int
+
+	// Seed drives all randomness; equal seeds give identical runs.
+	Seed int64
+	// MaxCycles bounds the simulation (deadlock watchdog).
+	MaxCycles uint64
+
+	// RecordTimeline captures per-thread phase transitions for the first
+	// TimelineThreads threads (Figure 9 profiles the first 8).
+	RecordTimeline  bool
+	TimelineThreads int
+
+	// DisableAckOverlap turns off iNPG's ack-overlap optimization (a
+	// relayed early ack satisfying a pending direct-invalidation wait);
+	// used by the mechanism-component ablation.
+	DisableAckOverlap bool
+
+	// TraceCapacity, when positive, enables message-level protocol tracing
+	// into a ring buffer of that many events (see internal/trace and
+	// cmd/inpgtrace). TraceAddr restricts tracing to one block address
+	// (0 traces everything).
+	TraceCapacity int
+	TraceAddr     uint64
+}
+
+// DefaultConfig returns the paper's Table 1 platform with the Linux-4.2
+// default queue spin-lock and a medium workload.
+func DefaultConfig() Config {
+	return Config{
+		MeshWidth:      8,
+		MeshHeight:     8,
+		Lock:           LockQSL,
+		Mechanism:      Original,
+		BigRouters:     -1,
+		LockHomeNode:   -1,
+		CSPerThread:    8,
+		CSCycles:       100,
+		CSJitter:       30,
+		ParallelCycles: 800,
+		ParallelJitter: 200,
+		Seed:           1,
+		MaxCycles:      50_000_000,
+	}
+}
+
+// System is one fully wired simulation instance.
+type System struct {
+	cfg      Config
+	eng      *sim.Engine
+	fab      *coherence.Fabric
+	threads  []*cpu.Thread
+	gens     []*bigrouter.Gen
+	rtt      *stats.RTTCollector
+	timeline *stats.Timeline
+	lockImpl cpu.Lock
+	tracer   *trace.Buffer
+}
+
+// lockSet multiplexes critical sections over several independent locks:
+// each acquire picks one uniformly (per-thread deterministic RNG) and the
+// matching release targets the same lock.
+type lockSet struct {
+	locks []cpu.Lock
+	held  []cpu.Lock // per thread
+}
+
+func (l *lockSet) Name() string { return l.locks[0].Name() }
+
+func (l *lockSet) Acquire(t *cpu.Thread, done func()) {
+	pick := l.locks[t.Rand().Intn(len(l.locks))]
+	l.held[t.ID] = pick
+	pick.Acquire(t, done)
+}
+
+func (l *lockSet) Release(t *cpu.Thread, done func()) {
+	l.held[t.ID].Release(t, done)
+}
+
+// tracingLock decorates a lock with acquire/release trace events.
+type tracingLock struct {
+	inner cpu.Lock
+	buf   *trace.Buffer
+	eng   *sim.Engine
+}
+
+func (l *tracingLock) Name() string { return l.inner.Name() }
+
+func (l *tracingLock) Acquire(t *cpu.Thread, done func()) {
+	l.inner.Acquire(t, func() {
+		l.buf.Add(trace.Event{Cycle: l.eng.Now(), Kind: trace.LockAcquire,
+			Node: noc.NodeID(t.ID), Src: noc.NodeID(t.ID), Addr: l.buf.AddrFilter,
+			Detail: "thread holds the lock"})
+		done()
+	})
+}
+
+func (l *tracingLock) Release(t *cpu.Thread, done func()) {
+	l.buf.Add(trace.Event{Cycle: l.eng.Now(), Kind: trace.LockRelease,
+		Node: noc.NodeID(t.ID), Src: noc.NodeID(t.ID), Addr: l.buf.AddrFilter,
+		Detail: "thread releases the lock"})
+	l.inner.Release(t, done)
+}
+
+// New builds a system from cfg.
+func New(cfg Config) (*System, error) {
+	if cfg.MeshWidth <= 0 || cfg.MeshHeight <= 0 {
+		return nil, fmt.Errorf("inpg: invalid mesh %dx%d", cfg.MeshWidth, cfg.MeshHeight)
+	}
+	nodes := cfg.MeshWidth * cfg.MeshHeight
+	threads := cfg.Threads
+	if threads == 0 {
+		threads = nodes
+	}
+	if threads > nodes {
+		return nil, fmt.Errorf("inpg: %d threads exceed %d cores", threads, nodes)
+	}
+	if cfg.CSPerThread <= 0 {
+		return nil, fmt.Errorf("inpg: CSPerThread must be positive")
+	}
+
+	eng := sim.NewEngine(cfg.Seed)
+	fcfg := coherence.DefaultFabricConfig()
+	fcfg.Net.Mesh = noc.Mesh{Width: cfg.MeshWidth, Height: cfg.MeshHeight}
+	fcfg.Net.PriorityArb = cfg.Mechanism.usesOCOR()
+	fcfg.Dir.DisableAckOverlap = cfg.DisableAckOverlap
+	fab, err := coherence.NewFabric(eng, fcfg)
+	if err != nil {
+		return nil, err
+	}
+
+	s := &System{cfg: cfg, eng: eng, fab: fab, rtt: stats.NewRTTCollector()}
+	fab.SetRTTRecorder(s.rtt)
+
+	// Lock construction.
+	lcfg := lock.DefaultConfig(threads)
+	if cfg.QSLRetries > 0 {
+		lcfg.QSLRetries = cfg.QSLRetries
+	}
+	if cfg.CtxSwitchCycles > 0 {
+		lcfg.CtxSwitch = sim.Cycle(cfg.CtxSwitchCycles)
+	}
+	if cfg.WakeupCycles > 0 {
+		lcfg.Wakeup = sim.Cycle(cfg.WakeupCycles)
+	}
+	home := noc.NodeID(cfg.LockHomeNode)
+	if cfg.LockHomeNode < 0 {
+		home = defaultLockHome(fab.Net.Mesh())
+	}
+	if int(home) >= nodes {
+		return nil, fmt.Errorf("inpg: lock home node %d outside mesh", home)
+	}
+	alloc := lock.NewAddrAlloc(fab.Homes, fab.Mem)
+	if cfg.LockCount > 1 {
+		locks := make([]cpu.Lock, cfg.LockCount)
+		locks[0] = lock.New(lock.Kind(cfg.Lock), alloc, home, lcfg)
+		for i := 1; i < cfg.LockCount; i++ {
+			h := noc.NodeID((int(home) + i*7) % nodes)
+			locks[i] = lock.New(lock.Kind(cfg.Lock), alloc, h, lcfg)
+		}
+		s.lockImpl = &lockSet{locks: locks, held: make([]cpu.Lock, threads)}
+	} else {
+		s.lockImpl = lock.New(lock.Kind(cfg.Lock), alloc, home, lcfg)
+	}
+	var barrier *lock.Barrier
+	if cfg.BarrierEvery > 0 {
+		barrier = lock.NewBarrier(alloc, noc.NodeID((int(home)+nodes/2)%nodes), threads, lcfg)
+	}
+
+	// iNPG deployment.
+	if cfg.Mechanism.usesINPG() {
+		brCount := cfg.BigRouters
+		if brCount < 0 {
+			brCount = nodes / 2
+		}
+		bcfg := bigrouter.DefaultConfig()
+		if cfg.BarrierEntries > 0 {
+			bcfg.Barriers = cfg.BarrierEntries
+			bcfg.EIEntries = cfg.BarrierEntries
+		}
+		if cfg.BarrierTTL > 0 {
+			bcfg.TTL = sim.Cycle(cfg.BarrierTTL)
+		}
+		nodesList := bigrouter.Deployment(fab.Net.Mesh(), brCount)
+		s.gens = bigrouter.Attach(eng, fab.Net, fab.Homes, bcfg, nodesList)
+		for _, g := range s.gens {
+			g.SetRTTRecorder(s.rtt)
+		}
+	}
+
+	// Protocol tracing.
+	if cfg.TraceCapacity > 0 {
+		s.tracer = trace.New(cfg.TraceCapacity)
+		s.tracer.AddrFilter = cfg.TraceAddr
+		for id := 0; id < nodes; id++ {
+			ni := fab.Net.NI(noc.NodeID(id))
+			node := noc.NodeID(id)
+			ni.OnInject = func(p *noc.Packet) {
+				s.tracer.Add(trace.Event{Cycle: eng.Now(), Kind: trace.PktInject,
+					Node: node, Src: p.Src, Dst: p.Dst, Addr: p.Addr, Detail: payloadName(p)})
+			}
+			ni.OnDeliver = func(p *noc.Packet) {
+				s.tracer.Add(trace.Event{Cycle: eng.Now(), Kind: trace.PktDeliver,
+					Node: node, Src: p.Src, Dst: p.Dst, Addr: p.Addr, Detail: payloadName(p)})
+			}
+		}
+		for _, g := range s.gens {
+			g.Tracer = s.tracer
+		}
+		s.lockImpl = &tracingLock{inner: s.lockImpl, buf: s.tracer, eng: eng}
+	}
+
+	// Threads.
+	if cfg.RecordTimeline {
+		s.timeline = &stats.Timeline{MaxThread: cfg.TimelineThreads}
+	}
+	prog := cpu.Program{
+		CSCount:        cfg.CSPerThread,
+		CSCycles:       jitter(cfg.CSCycles, cfg.CSJitter),
+		ParallelCycles: jitter(cfg.ParallelCycles, cfg.ParallelJitter),
+	}
+	for i := 0; i < threads; i++ {
+		th := cpu.New(eng, i, fab.L1s[i], s.lockImpl, prog, cfg.Seed+int64(i)*7919)
+		th.OCOR = cfg.Mechanism.usesOCOR()
+		th.QSLRetries = lcfg.QSLRetries
+		if barrier != nil {
+			th.Barrier = barrier
+			th.BarrierEvery = cfg.BarrierEvery
+		}
+		if s.timeline != nil {
+			th.PhaseHook = s.timeline.Hook()
+		}
+		s.threads = append(s.threads, th)
+	}
+	return s, nil
+}
+
+// defaultLockHome picks the paper's Figure 10 lock position, core (5,6),
+// when the mesh has it; otherwise the mesh center.
+func defaultLockHome(m noc.Mesh) noc.NodeID {
+	if m.Width > 5 && m.Height > 6 {
+		return m.ID(5, 6)
+	}
+	return m.ID(m.Width/2, m.Height/2)
+}
+
+// jitter returns a closure drawing mean±j uniformly.
+func jitter(mean, j int) func(r *rand.Rand) sim.Cycle {
+	if mean <= 0 {
+		mean = 1
+	}
+	return func(r *rand.Rand) sim.Cycle {
+		v := mean
+		if j > 0 {
+			v += r.Intn(2*j+1) - j
+		}
+		if v < 1 {
+			v = 1
+		}
+		return sim.Cycle(v)
+	}
+}
+
+// ThreadResult is one thread's outcome.
+type ThreadResult struct {
+	ID          int
+	Parallel    uint64
+	COH         uint64 // competition overhead excluding sleep
+	Sleep       uint64
+	CSE         uint64
+	CSCompleted int
+	Sleeps      int
+}
+
+// Results aggregates one run.
+type Results struct {
+	// Runtime is the ROI finish time: the cycle the last thread finished.
+	Runtime uint64
+	// Threads is the number of competing threads.
+	Threads int
+	// Per-phase totals across threads (cycles).
+	Parallel, COH, Sleep, CSE uint64
+	// CSCompleted is the total critical sections executed.
+	CSCompleted int
+	// LCOPercent is the share of aggregate thread time spent with
+	// lock-protocol memory operations outstanding (Figure 2's metric).
+	LCOPercent float64
+	// RTTMean/RTTMax/RTTSamples summarize invalidation–acknowledgement
+	// round trips at their generator (Figure 10).
+	RTTMean    float64
+	RTTMax     uint64
+	RTTSamples uint64
+	// NetMeanLatency is the mean end-to-end packet latency.
+	NetMeanLatency float64
+	// EarlyInvs counts iNPG-generated early invalidations; Stopped the
+	// GetX requests stopped at big routers.
+	EarlyInvs uint64
+	Stopped   uint64
+
+	// Energy estimates the run's dynamic NoC energy from measured
+	// switching activity and the paper's Figure 7 power ratings.
+	Energy chipmodel.EnergyReport
+
+	PerThread []ThreadResult
+}
+
+// CSTime returns the total critical-section related time COH+Sleep+CSE,
+// the quantity Figures 8b/11/14 are built on.
+func (r *Results) CSTime() uint64 { return r.COH + r.Sleep + r.CSE }
+
+// COHTotal returns competition overhead including sleep.
+func (r *Results) COHTotal() uint64 { return r.COH + r.Sleep }
+
+// Run executes the system until every thread finishes its program and
+// returns the collected results.
+func (s *System) Run() (*Results, error) {
+	for _, th := range s.threads {
+		th.Start()
+	}
+	_, err := s.eng.Run(sim.Cycle(s.cfg.MaxCycles), func() bool {
+		for _, th := range s.threads {
+			if !th.Done() {
+				return false
+			}
+		}
+		return true
+	})
+	if err != nil {
+		stuck := 0
+		for _, th := range s.threads {
+			if !th.Done() {
+				stuck++
+			}
+		}
+		return nil, fmt.Errorf("inpg: %d/%d threads unfinished: %w", stuck, len(s.threads), err)
+	}
+	return s.collect(), nil
+}
+
+// collect assembles Results from the finished run.
+func (s *System) collect() *Results {
+	r := &Results{
+		Runtime:    uint64(s.eng.Now()),
+		Threads:    len(s.threads),
+		RTTMean:    s.rtt.Mean(),
+		RTTMax:     s.rtt.Max(),
+		RTTSamples: s.rtt.Samples(),
+	}
+	var lockStall uint64
+	for _, th := range s.threads {
+		b := th.Breakdown
+		r.Parallel += b.Parallel
+		r.COH += b.COH
+		r.Sleep += b.Sleep
+		r.CSE += b.CSE
+		r.CSCompleted += th.CSCompleted
+		r.PerThread = append(r.PerThread, ThreadResult{
+			ID: th.ID, Parallel: b.Parallel, COH: b.COH, Sleep: b.Sleep,
+			CSE: b.CSE, CSCompleted: th.CSCompleted, Sleeps: th.SleepCount,
+		})
+		lockStall += s.fab.L1s[th.ID].Stats.LockStallCycles
+	}
+	if r.Runtime > 0 && len(s.threads) > 0 {
+		r.LCOPercent = 100 * float64(lockStall) / (float64(r.Runtime) * float64(len(s.threads)))
+	}
+	r.NetMeanLatency = s.fab.Net.MeanLatency()
+	bigNodes := make(map[noc.NodeID]bool, len(s.gens))
+	for _, g := range s.gens {
+		r.EarlyInvs += g.Stats.EarlyInvsSent
+		r.Stopped += g.Stats.GetXStopped
+		bigNodes[g.Node] = true
+	}
+	act := chipmodel.Activity{Cycles: r.Runtime, Generated: r.EarlyInvs}
+	for id := 0; id < s.fab.Homes.Nodes; id++ {
+		flits := s.fab.Net.Router(noc.NodeID(id)).Stats.FlitsSwitched
+		if bigNodes[noc.NodeID(id)] {
+			act.BigFlits += flits
+		} else {
+			act.NormalFlits += flits
+		}
+	}
+	for _, g := range s.gens {
+		act.Generated += g.Stats.AcksRelayed
+	}
+	r.Energy = chipmodel.Energy(act)
+	return r
+}
+
+// Engine exposes the simulation engine (advanced use, examples).
+func (s *System) Engine() *sim.Engine { return s.eng }
+
+// Fabric exposes the coherent memory system (tests, invariant checks).
+func (s *System) Fabric() *coherence.Fabric { return s.fab }
+
+// RTT exposes the raw round-trip collector (Figure 10 maps/histograms).
+func (s *System) RTT() *stats.RTTCollector { return s.rtt }
+
+// Timeline exposes the recorded phase timeline, or nil when disabled.
+func (s *System) Timeline() *stats.Timeline { return s.timeline }
+
+// Trace exposes the protocol trace buffer, or nil when disabled.
+func (s *System) Trace() *trace.Buffer { return s.tracer }
+
+// payloadName renders a packet's payload type for traces.
+func payloadName(p *noc.Packet) string {
+	if m, ok := p.Payload.(*coherence.Message); ok {
+		return m.Type.String()
+	}
+	return "?"
+}
+
+// Threads exposes the thread list.
+func (s *System) Threads() []*cpu.Thread { return s.threads }
+
+// BigRouters exposes the deployed packet generators (nil for non-iNPG).
+func (s *System) BigRouters() []*bigrouter.Gen { return s.gens }

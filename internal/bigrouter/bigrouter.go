@@ -1,0 +1,307 @@
+// Package bigrouter implements iNPG, the paper's contribution: "big"
+// routers that enhance a normal NoC router with a packet generator and a
+// locking barrier table (Section 4, Figure 6).
+//
+// When the first GetX for a lock variable traverses a big router, a
+// temporary lock barrier is created. Subsequent (arbitration-losing or
+// later-arriving) GetX requests for the same lock are stopped: the big
+// router immediately generates an early invalidation (Inv) to the issuing
+// thread's L1, converts the stopped GetX into a FwdGetX bound for the home
+// node, and — when the InvAck for its early Inv returns — forwards the ack
+// to the home, which credits it to the winning thread's transaction. The
+// invalidation–acknowledgement round trip thus happens near the competing
+// thread instead of at the (possibly distant) home node, turning
+// long-range centralized coherence traffic into short-range distributed
+// traffic and shortening the lock coherence overhead (LCO).
+//
+// Each lock barrier carries a time-to-live (default 128 cycles) that
+// counts down only while the barrier has no live early-invalidation (EI)
+// entries and resets whenever one is created; an EI entry lives through
+// four phases (Inv generated, GetX forwarded, InvAck received, ack
+// forwarded) and is freed after the last. A full table passes traffic
+// through like a normal router.
+package bigrouter
+
+import (
+	"inpg/internal/coherence"
+	"inpg/internal/noc"
+	"inpg/internal/sim"
+	"inpg/internal/trace"
+)
+
+// Config sizes the locking barrier table (Table 1 defaults: 16 barriers,
+// 16 EI entries per barrier, TTL 128 cycles).
+type Config struct {
+	Barriers  int
+	EIEntries int
+	TTL       sim.Cycle
+}
+
+// DefaultConfig returns the paper's default big-router configuration.
+func DefaultConfig() Config {
+	return Config{Barriers: 16, EIEntries: 16, TTL: 128}
+}
+
+// EI-entry phases (Figure 6). Generation and forwarding happen in the same
+// switch-traversal slot, so a live entry is either awaiting its InvAck or
+// being freed; the phase field exists for observability.
+const (
+	PhaseInvGenerated = iota
+	PhaseGetXForwarded
+	PhaseInvAckReceived
+	PhaseAckForwarded
+)
+
+// eiEntry tracks one stopped GetX / early invalidation.
+type eiEntry struct {
+	issuer    noc.NodeID
+	phase     int
+	invSentAt sim.Cycle
+}
+
+// barrier is one locking-barrier-table row.
+type barrier struct {
+	addr   uint64
+	expiry sim.Cycle // valid while len(eis) == 0
+	eis    map[noc.NodeID]*eiEntry
+}
+
+// Stats counts packet-generator activity.
+type Stats struct {
+	BarriersCreated uint64
+	BarriersExpired uint64
+	GetXPassed      uint64 // lock GetX that created or bypassed a barrier
+	GetXStopped     uint64 // converted to FwdGetX
+	EarlyInvsSent   uint64
+	AcksRelayed     uint64
+	TableFullPasses uint64
+	StrayAcks       uint64 // acks arriving with no matching EI entry
+}
+
+// Gen is the packet generator attached to one big router. It implements
+// noc.Interceptor.
+type Gen struct {
+	Node  noc.NodeID
+	eng   *sim.Engine
+	homes coherence.HomeMap
+	cfg   Config
+	rtt   coherence.RTTRecorder
+
+	barriers map[uint64]*barrier
+	tokenSeq uint64
+
+	// Tracer, when set, records stop / early-invalidation / ack-relay
+	// events.
+	Tracer *trace.Buffer
+
+	Stats Stats
+}
+
+// New builds a packet generator for the big router at node.
+func New(eng *sim.Engine, node noc.NodeID, homes coherence.HomeMap, cfg Config) *Gen {
+	return &Gen{
+		Node:     node,
+		eng:      eng,
+		homes:    homes,
+		cfg:      cfg,
+		barriers: make(map[uint64]*barrier),
+	}
+}
+
+// SetRTTRecorder installs the early-invalidation round-trip sampler.
+func (g *Gen) SetRTTRecorder(r coherence.RTTRecorder) { g.rtt = r }
+
+// Intercept implements noc.Interceptor: it examines every single-flit
+// packet whose head flit enters this router.
+func (g *Gen) Intercept(now sim.Cycle, r *noc.Router, p *noc.Packet) (bool, []*noc.Packet) {
+	m, ok := p.Payload.(*coherence.Message)
+	if !ok {
+		return false, nil
+	}
+	switch {
+	case p.LockReq && m.Type == coherence.MsgGetX:
+		return g.onLockGetX(now, p, m)
+	case m.Type == coherence.MsgInvAck && m.EarlyInv && !m.ToDir && p.Dst == g.Node:
+		// An InvAck answering one of our early Invs. Acks with ToDir set
+		// are already relayed and belong to the destination's directory,
+		// even when that directory shares a node with a big router.
+		return g.onEarlyInvAck(now, m)
+	}
+	return false, nil
+}
+
+// onLockGetX applies the barrier logic to a traversing lock GetX.
+func (g *Gen) onLockGetX(now sim.Cycle, p *noc.Packet, m *coherence.Message) (bool, []*noc.Packet) {
+	g.expire(now)
+	b := g.barriers[m.Addr]
+	if b == nil {
+		if len(g.barriers) >= g.cfg.Barriers {
+			// Locking barrier table full: behave like a normal router.
+			g.Stats.TableFullPasses++
+			return false, nil
+		}
+		g.barriers[m.Addr] = &barrier{
+			addr:   m.Addr,
+			expiry: now + g.cfg.TTL,
+			eis:    make(map[noc.NodeID]*eiEntry),
+		}
+		g.Stats.BarriersCreated++
+		g.Stats.GetXPassed++
+		return false, nil
+	}
+	if len(b.eis) >= g.cfg.EIEntries {
+		g.Stats.TableFullPasses++
+		return false, nil
+	}
+	if _, dup := b.eis[m.Requestor]; dup {
+		// One outstanding request per L1 makes this unreachable; pass
+		// defensively rather than corrupt the entry.
+		g.Stats.GetXPassed++
+		return false, nil
+	}
+
+	// Stop the request: early-invalidate the issuer, convert the GetX into
+	// a FwdGetX toward the home, and remember the EI entry. The token ties
+	// this stop's invalidation, acknowledgement and relay together.
+	g.tokenSeq++
+	token := uint64(g.Node)<<32 | g.tokenSeq
+	b.eis[m.Requestor] = &eiEntry{issuer: m.Requestor, phase: PhaseGetXForwarded, invSentAt: now}
+	g.Stats.GetXStopped++
+	g.Stats.EarlyInvsSent++
+
+	m.Type = coherence.MsgFwdGetX
+	m.EarlyInv = true
+	m.ToDir = true
+	m.Token = token
+	p.LockReq = false // other big routers must not stop the forward
+	if g.Tracer != nil {
+		g.Tracer.Add(trace.Event{Cycle: now, Kind: trace.PktStop, Node: g.Node,
+			Src: m.Requestor, Dst: p.Dst, Addr: m.Addr, Detail: "GetX->FwdGetX"})
+		g.Tracer.Add(trace.Event{Cycle: now, Kind: trace.EarlyInv, Node: g.Node,
+			Src: g.Node, Dst: m.Requestor, Addr: m.Addr, Detail: "generated Inv"})
+	}
+
+	inv := &coherence.Message{
+		Type:      coherence.MsgInv,
+		Addr:      m.Addr,
+		From:      g.Node,
+		Requestor: m.Requestor,
+		AckTo:     g.Node,
+		EarlyInv:  true,
+		Token:     token,
+	}
+	return false, []*noc.Packet{genPacket(inv, m.Requestor)}
+}
+
+// onEarlyInvAck consumes an InvAck returning to this big router and relays
+// it to the home node of the lock.
+func (g *Gen) onEarlyInvAck(now sim.Cycle, m *coherence.Message) (bool, []*noc.Packet) {
+	if b := g.barriers[m.Addr]; b != nil {
+		if ei := b.eis[m.AckFor]; ei != nil {
+			if g.rtt != nil {
+				g.rtt.RecordRTT(m.AckFor, now-ei.invSentAt)
+			}
+			ei.phase = PhaseAckForwarded
+			delete(b.eis, m.AckFor)
+			if len(b.eis) == 0 {
+				b.expiry = now + g.cfg.TTL
+			}
+		} else {
+			g.Stats.StrayAcks++
+		}
+	} else {
+		g.Stats.StrayAcks++
+	}
+	// Always relay: the home must never lose an acknowledgement.
+	g.Stats.AcksRelayed++
+	if g.Tracer != nil {
+		g.Tracer.Add(trace.Event{Cycle: now, Kind: trace.AckRelay, Node: g.Node,
+			Src: m.AckFor, Dst: g.homes.Home(m.Addr), Addr: m.Addr, Detail: "InvAck relayed"})
+	}
+	fwd := &coherence.Message{
+		Type:     coherence.MsgInvAck,
+		Addr:     m.Addr,
+		From:     g.Node,
+		AckFor:   m.AckFor,
+		EarlyInv: true,
+		ToDir:    true,
+		Token:    m.Token,
+	}
+	return true, []*noc.Packet{genPacket(fwd, g.homes.Home(m.Addr))}
+}
+
+// expire deletes barriers whose TTL ran out with no live EI entries.
+func (g *Gen) expire(now sim.Cycle) {
+	for addr, b := range g.barriers {
+		if len(b.eis) == 0 && b.expiry <= now {
+			delete(g.barriers, addr)
+			g.Stats.BarriersExpired++
+		}
+	}
+}
+
+// Barriers reports the live barrier count (tests, observability).
+func (g *Gen) Barriers(now sim.Cycle) int {
+	g.expire(now)
+	return len(g.barriers)
+}
+
+// genPacket wraps a generated message. Generated packets use the same
+// priority as protocol responses so they are never starved under OCOR.
+func genPacket(m *coherence.Message, dst noc.NodeID) *noc.Packet {
+	vnet := m.Type.VNet()
+	return &noc.Packet{
+		Dst:      dst,
+		VNet:     vnet,
+		Size:     noc.ControlFlits,
+		Priority: 100,
+		Addr:     m.Addr,
+		Payload:  m,
+	}
+}
+
+// Deployment returns the node set for n big routers on mesh m, distributed
+// evenly. n = half the nodes gives the paper's Figure 3 checkerboard (a
+// big router between every two normal routers); other counts spread with
+// a uniform stride.
+func Deployment(m noc.Mesh, n int) []noc.NodeID {
+	total := m.Nodes()
+	if n >= total {
+		all := make([]noc.NodeID, total)
+		for i := range all {
+			all[i] = noc.NodeID(i)
+		}
+		return all
+	}
+	if n <= 0 {
+		return nil
+	}
+	if n*2 == total {
+		var nodes []noc.NodeID
+		for y := 0; y < m.Height; y++ {
+			for x := 0; x < m.Width; x++ {
+				if (x+y)%2 == 1 {
+					nodes = append(nodes, m.ID(x, y))
+				}
+			}
+		}
+		return nodes
+	}
+	nodes := make([]noc.NodeID, 0, n)
+	for i := 0; i < n; i++ {
+		nodes = append(nodes, noc.NodeID(i*total/n+total/(2*n)))
+	}
+	return nodes
+}
+
+// Attach builds generators for the given nodes, installs them as
+// interceptors and returns them.
+func Attach(eng *sim.Engine, net *noc.Network, homes coherence.HomeMap, cfg Config, nodes []noc.NodeID) []*Gen {
+	gens := make([]*Gen, 0, len(nodes))
+	for _, id := range nodes {
+		g := New(eng, id, homes, cfg)
+		net.Router(id).SetInterceptor(g)
+		gens = append(gens, g)
+	}
+	return gens
+}

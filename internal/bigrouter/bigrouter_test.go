@@ -1,0 +1,232 @@
+package bigrouter
+
+import (
+	"testing"
+
+	"inpg/internal/coherence"
+	"inpg/internal/noc"
+	"inpg/internal/sim"
+)
+
+func testGen(cfg Config) *Gen {
+	eng := sim.NewEngine(1)
+	homes := coherence.HomeMap{Nodes: 16, BlockBytes: 128}
+	return New(eng, 5, homes, cfg)
+}
+
+// lockGetX builds a swap GetX packet from node src for addr.
+func lockGetX(src noc.NodeID, addr uint64) (*noc.Packet, *coherence.Message) {
+	m := &coherence.Message{
+		Type: coherence.MsgGetX, Addr: addr, Requestor: src,
+		LockAddr: true, IsSwap: true, Operand: 1, ToDir: true,
+	}
+	p := &noc.Packet{Dst: 3, VNet: noc.VNetRequest, Size: 1, LockReq: true, Addr: addr, Payload: m}
+	return p, m
+}
+
+func TestFirstGetXCreatesBarrierAndPasses(t *testing.T) {
+	g := testGen(DefaultConfig())
+	p, m := lockGetX(7, 0x1000)
+	consume, gen := g.Intercept(10, nil, p)
+	if consume || len(gen) != 0 {
+		t.Fatal("first lock GetX must pass untouched")
+	}
+	if m.Type != coherence.MsgGetX {
+		t.Fatal("first GetX must not be converted")
+	}
+	if g.Barriers(10) != 1 {
+		t.Fatalf("barriers = %d, want 1", g.Barriers(10))
+	}
+}
+
+func TestSecondGetXIsStoppedAndConverted(t *testing.T) {
+	g := testGen(DefaultConfig())
+	p1, _ := lockGetX(7, 0x1000)
+	g.Intercept(10, nil, p1)
+	p2, m2 := lockGetX(9, 0x1000)
+	consume, gen := g.Intercept(12, nil, p2)
+	if consume {
+		t.Fatal("stopped GetX is converted, not consumed")
+	}
+	if m2.Type != coherence.MsgFwdGetX || !m2.EarlyInv || !m2.ToDir {
+		t.Fatalf("conversion wrong: %+v", m2)
+	}
+	if p2.LockReq {
+		t.Fatal("converted packet must not be stoppable again")
+	}
+	if len(gen) != 1 {
+		t.Fatalf("generated %d packets, want 1 early Inv", len(gen))
+	}
+	inv := gen[0].Payload.(*coherence.Message)
+	if inv.Type != coherence.MsgInv || !inv.EarlyInv || inv.AckTo != 5 {
+		t.Fatalf("early Inv wrong: %+v", inv)
+	}
+	if gen[0].Dst != 9 {
+		t.Fatalf("early Inv sent to %d, want issuer 9", gen[0].Dst)
+	}
+	if g.Stats.GetXStopped != 1 || g.Stats.EarlyInvsSent != 1 {
+		t.Fatalf("stats wrong: %+v", g.Stats)
+	}
+}
+
+func TestDistinctLocksGetDistinctBarriers(t *testing.T) {
+	g := testGen(DefaultConfig())
+	pa, _ := lockGetX(1, 0x1000)
+	pb, mb := lockGetX(2, 0x2000)
+	g.Intercept(10, nil, pa)
+	g.Intercept(10, nil, pb)
+	if g.Barriers(10) != 2 {
+		t.Fatalf("barriers = %d, want 2", g.Barriers(10))
+	}
+	if mb.Type != coherence.MsgGetX {
+		t.Fatal("first GetX of second lock must pass")
+	}
+}
+
+func TestBarrierTTLExpiry(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TTL = 100
+	g := testGen(cfg)
+	p, _ := lockGetX(1, 0x1000)
+	g.Intercept(10, nil, p)
+	if g.Barriers(50) != 1 {
+		t.Fatal("barrier should survive before TTL")
+	}
+	if g.Barriers(111) != 0 {
+		t.Fatal("barrier should expire after TTL with no EI entries")
+	}
+	if g.Stats.BarriersExpired != 1 {
+		t.Fatalf("expired = %d, want 1", g.Stats.BarriersExpired)
+	}
+}
+
+func TestTTLFrozenWhileEIEntriesLive(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TTL = 100
+	g := testGen(cfg)
+	p1, _ := lockGetX(1, 0x1000)
+	g.Intercept(10, nil, p1)
+	p2, _ := lockGetX(2, 0x1000)
+	g.Intercept(20, nil, p2) // stopped: live EI entry
+	if g.Barriers(500) != 1 {
+		t.Fatal("barrier with live EI entry must not expire")
+	}
+	// The InvAck for the early Inv frees the entry and restarts the TTL.
+	ack := &coherence.Message{Type: coherence.MsgInvAck, Addr: 0x1000, AckFor: 2, EarlyInv: true}
+	ap := &noc.Packet{Dst: 5, VNet: noc.VNetResponse, Size: 1, Addr: 0x1000, Payload: ack}
+	consume, gen := g.Intercept(600, nil, ap)
+	if !consume {
+		t.Fatal("early InvAck addressed to the big router must be consumed")
+	}
+	if len(gen) != 1 || gen[0].Payload.(*coherence.Message).Type != coherence.MsgInvAck {
+		t.Fatal("consumed ack must be relayed to the home")
+	}
+	relayed := gen[0].Payload.(*coherence.Message)
+	if !relayed.ToDir || !relayed.EarlyInv || relayed.AckFor != 2 {
+		t.Fatalf("relayed ack wrong: %+v", relayed)
+	}
+	if gen[0].Dst != 0 { // home of 0x1000 = (0x1000/128)%16 = 32%16 = 0
+		t.Fatalf("relayed to %d, want home 0", gen[0].Dst)
+	}
+	if g.Barriers(600) != 1 {
+		t.Fatal("TTL restarts at ack; barrier still alive immediately")
+	}
+	if g.Barriers(701) != 0 {
+		t.Fatal("barrier should expire TTL cycles after last EI freed")
+	}
+}
+
+func TestRelayedAcksNotInterceptedAtHomeBigRouter(t *testing.T) {
+	g := testGen(DefaultConfig())
+	// An already-relayed ack (ToDir) addressed to this node's directory
+	// must pass through even though Dst matches the router.
+	ack := &coherence.Message{Type: coherence.MsgInvAck, Addr: 0x1000, AckFor: 2, EarlyInv: true, ToDir: true}
+	ap := &noc.Packet{Dst: 5, VNet: noc.VNetResponse, Size: 1, Addr: 0x1000, Payload: ack}
+	consume, gen := g.Intercept(10, nil, ap)
+	if consume || len(gen) != 0 {
+		t.Fatal("relayed ack bound for the directory must pass through")
+	}
+}
+
+func TestBarrierTableCapacity(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Barriers = 2
+	g := testGen(cfg)
+	for i, addr := range []uint64{0x1000, 0x2000, 0x3000} {
+		p, m := lockGetX(noc.NodeID(i), addr)
+		g.Intercept(10, nil, p)
+		if addr == 0x3000 && m.Type != coherence.MsgGetX {
+			t.Fatal("GetX must pass when the barrier table is full")
+		}
+	}
+	if g.Barriers(10) != 2 {
+		t.Fatalf("barriers = %d, want capacity 2", g.Barriers(10))
+	}
+	if g.Stats.TableFullPasses != 1 {
+		t.Fatalf("full passes = %d, want 1", g.Stats.TableFullPasses)
+	}
+}
+
+func TestEIEntryCapacity(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.EIEntries = 2
+	g := testGen(cfg)
+	p0, _ := lockGetX(0, 0x1000)
+	g.Intercept(10, nil, p0)
+	stopped := 0
+	for i := 1; i <= 3; i++ {
+		p, m := lockGetX(noc.NodeID(i), 0x1000)
+		g.Intercept(10, nil, p)
+		if m.Type == coherence.MsgFwdGetX {
+			stopped++
+		}
+	}
+	if stopped != 2 {
+		t.Fatalf("stopped %d, want 2 (EI capacity)", stopped)
+	}
+}
+
+func TestNonLockTrafficIgnored(t *testing.T) {
+	g := testGen(DefaultConfig())
+	m := &coherence.Message{Type: coherence.MsgGetS, Addr: 0x1000, Requestor: 1, ToDir: true}
+	p := &noc.Packet{Dst: 3, VNet: noc.VNetRequest, Size: 1, Addr: 0x1000, Payload: m}
+	consume, gen := g.Intercept(10, nil, p)
+	if consume || len(gen) != 0 || g.Barriers(10) != 0 {
+		t.Fatal("GetS must be ignored by the barrier table")
+	}
+}
+
+func TestDeploymentCheckerboard(t *testing.T) {
+	m := noc.Mesh{Width: 8, Height: 8}
+	nodes := Deployment(m, 32)
+	if len(nodes) != 32 {
+		t.Fatalf("deployed %d, want 32", len(nodes))
+	}
+	for _, id := range nodes {
+		x, y := m.Coord(id)
+		if (x+y)%2 != 1 {
+			t.Fatalf("node %d (%d,%d) breaks the checkerboard", id, x, y)
+		}
+	}
+}
+
+func TestDeploymentCounts(t *testing.T) {
+	m := noc.Mesh{Width: 8, Height: 8}
+	for _, n := range []int{0, 4, 16, 64, 100} {
+		got := Deployment(m, n)
+		want := n
+		if n > 64 {
+			want = 64
+		}
+		if len(got) != want {
+			t.Fatalf("Deployment(%d) = %d nodes, want %d", n, len(got), want)
+		}
+		seen := map[noc.NodeID]bool{}
+		for _, id := range got {
+			if seen[id] || !m.Contains(id) {
+				t.Fatalf("Deployment(%d) invalid node set", n)
+			}
+			seen[id] = true
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func small(t *testing.T) *Cache {
+	t.Helper()
+	c, err := New(Config{SizeBytes: 2048, Ways: 4, BlockBytes: 128}) // 4 sets
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestGeometry(t *testing.T) {
+	cfg := Config{SizeBytes: 32 * 1024, Ways: 4, BlockBytes: 128}
+	if cfg.Sets() != 64 {
+		t.Fatalf("L1 sets = %d, want 64", cfg.Sets())
+	}
+}
+
+func TestRejectBadGeometry(t *testing.T) {
+	bad := []Config{
+		{SizeBytes: 0, Ways: 4, BlockBytes: 128},
+		{SizeBytes: 3000, Ways: 4, BlockBytes: 128}, // non-power-of-two sets
+		{SizeBytes: 2048, Ways: 4, BlockBytes: 100}, // non-power-of-two block
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Fatalf("config %d accepted, want error", i)
+		}
+	}
+}
+
+func TestMissThenHit(t *testing.T) {
+	c := small(t)
+	if c.Lookup(0x1000) != nil {
+		t.Fatal("cold cache must miss")
+	}
+	c.Insert(0x1000, Shared, 7)
+	l := c.Lookup(0x1000)
+	if l == nil || l.Data != 7 || l.State != Shared {
+		t.Fatalf("lookup after insert = %+v", l)
+	}
+}
+
+func TestBlockAlignSharing(t *testing.T) {
+	c := small(t)
+	c.Insert(0x1008, Modified, 1)
+	if c.Lookup(0x1000) == nil || c.Lookup(0x107f) == nil {
+		t.Fatal("addresses within one block must hit the same line")
+	}
+	if c.Lookup(0x1080) != nil {
+		t.Fatal("next block must not hit")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := small(t) // 4 sets, 4 ways; set stride = 128 bytes, wrap = 512.
+	// Fill one set (set 0): addresses 0, 512, 1024, 1536.
+	for i := 0; i < 4; i++ {
+		c.Insert(uint64(i*512), Shared, uint64(i))
+	}
+	c.Lookup(0) // make line 0 most recently used
+	_, ev := c.Insert(4*512, Shared, 99)
+	if ev == nil {
+		t.Fatal("full set must evict")
+	}
+	if ev.Addr != 512 {
+		t.Fatalf("evicted %#x, want %#x (LRU, not MRU)", ev.Addr, 512)
+	}
+	if c.Lookup(0) == nil {
+		t.Fatal("MRU line must survive")
+	}
+}
+
+func TestInsertPrefersInvalidWay(t *testing.T) {
+	c := small(t)
+	c.Insert(0, Shared, 0)
+	c.Insert(512, Shared, 0)
+	c.Invalidate(0)
+	_, ev := c.Insert(1024, Shared, 0)
+	if ev != nil {
+		t.Fatalf("insert with invalid way available evicted %+v", ev)
+	}
+	if c.Lookup(512) == nil {
+		t.Fatal("valid line lost")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := small(t)
+	c.Insert(0x40, Modified, 3)
+	c.Invalidate(0x40)
+	if c.Lookup(0x40) != nil {
+		t.Fatal("line still present after invalidate")
+	}
+	c.Invalidate(0xdead00) // absent: must not panic
+}
+
+func TestPeekDoesNotTouchLRU(t *testing.T) {
+	c := small(t)
+	for i := 0; i < 4; i++ {
+		c.Insert(uint64(i*512), Shared, 0)
+	}
+	c.Peek(0) // must NOT refresh
+	_, ev := c.Insert(4*512, Shared, 0)
+	if ev == nil || ev.Addr != 0 {
+		t.Fatalf("evicted %+v, want line 0 (Peek must not refresh LRU)", ev)
+	}
+}
+
+func TestOccupancy(t *testing.T) {
+	c := small(t)
+	if c.Occupancy() != 0 {
+		t.Fatal("new cache not empty")
+	}
+	c.Insert(0, Shared, 0)
+	c.Insert(128, Shared, 0)
+	if c.Occupancy() != 2 {
+		t.Fatalf("occupancy = %d, want 2", c.Occupancy())
+	}
+}
+
+// TestCacheVsMapModel property-checks the cache against a reference model:
+// any value inserted and not since evicted or invalidated must read back
+// exactly; any hit must return the last written data.
+func TestCacheVsMapModel(t *testing.T) {
+	type op struct {
+		Kind byte
+		Addr uint16
+		Data uint64
+	}
+	f := func(ops []op) bool {
+		c, err := New(Config{SizeBytes: 1024, Ways: 2, BlockBytes: 64})
+		if err != nil {
+			return false
+		}
+		model := map[uint64]uint64{}
+		for _, o := range ops {
+			addr := c.BlockAlign(uint64(o.Addr))
+			switch o.Kind % 3 {
+			case 0: // insert
+				_, ev := c.Insert(addr, Modified, o.Data)
+				model[addr] = o.Data
+				if ev != nil {
+					if want, ok := model[ev.Addr]; !ok || want != ev.Data {
+						return false // evicted line must carry last written data
+					}
+					delete(model, ev.Addr)
+				}
+			case 1: // lookup
+				l := c.Lookup(addr)
+				want, ok := model[addr]
+				if (l != nil) != ok {
+					return false
+				}
+				if l != nil && l.Data != want {
+					return false
+				}
+			case 2: // invalidate
+				c.Invalidate(addr)
+				delete(model, addr)
+			}
+		}
+		return c.Occupancy() == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMSHRAllocateGetFree(t *testing.T) {
+	m := NewMSHR(2)
+	e := m.Allocate(0x100)
+	if e == nil {
+		t.Fatal("allocate failed on empty MSHR")
+	}
+	if m.Allocate(0x100) != nil {
+		t.Fatal("duplicate allocation must fail")
+	}
+	if m.Get(0x100) != e {
+		t.Fatal("Get returned wrong entry")
+	}
+	m.Allocate(0x200)
+	if !m.Full() || m.Allocate(0x300) != nil {
+		t.Fatal("capacity not enforced")
+	}
+	m.Free(0x100)
+	if m.Len() != 1 || m.Get(0x100) != nil {
+		t.Fatal("free did not release entry")
+	}
+	if m.Allocate(0x300) == nil {
+		t.Fatal("allocation after free must succeed")
+	}
+}
+
+func TestStateString(t *testing.T) {
+	want := map[State]string{Invalid: "I", Shared: "S", Exclusive: "E", Owned: "O", Modified: "M"}
+	for s, w := range want {
+		if s.String() != w {
+			t.Fatalf("%d.String() = %q, want %q", s, s.String(), w)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package cache
+
+// MSHR is a miss status holding register file: it tracks outstanding
+// transactions per block address and bounds their number, mirroring the
+// 32-MSHR L1/L2 configuration in the paper's Table 1.
+type MSHR struct {
+	capacity int
+	entries  map[uint64]*MSHREntry
+}
+
+// MSHREntry is the controller-visible record of one outstanding
+// transaction. The coherence controllers stash their transient state here.
+type MSHREntry struct {
+	Addr uint64
+	// Transient protocol state, owned by the controller.
+	State       int
+	AcksNeeded  int
+	AcksGot     int
+	DataReady   bool
+	AcksDone    bool
+	PendingData uint64
+	// Invalidated records an invalidation that raced with the fill: the
+	// response completes the operation but must not install the line.
+	Invalidated bool
+	// Aux carries controller-specific context (e.g. the pending CPU op).
+	Aux any
+}
+
+// NewMSHR returns an MSHR file with the given entry capacity.
+func NewMSHR(capacity int) *MSHR {
+	return &MSHR{capacity: capacity, entries: make(map[uint64]*MSHREntry)}
+}
+
+// Allocate creates an entry for addr. It returns nil when the file is full
+// or the address already has an entry (one outstanding transaction per
+// block).
+func (m *MSHR) Allocate(addr uint64) *MSHREntry {
+	if len(m.entries) >= m.capacity {
+		return nil
+	}
+	if _, dup := m.entries[addr]; dup {
+		return nil
+	}
+	e := &MSHREntry{Addr: addr}
+	m.entries[addr] = e
+	return e
+}
+
+// Get returns the entry for addr, or nil.
+func (m *MSHR) Get(addr uint64) *MSHREntry { return m.entries[addr] }
+
+// Free releases addr's entry.
+func (m *MSHR) Free(addr uint64) { delete(m.entries, addr) }
+
+// Len reports outstanding entries.
+func (m *MSHR) Len() int { return len(m.entries) }
+
+// Full reports whether a new allocation would fail for capacity reasons.
+func (m *MSHR) Full() bool { return len(m.entries) >= m.capacity }

@@ -1,0 +1,164 @@
+// Package chipmodel is the analytical stand-in for the paper's RTL
+// synthesis and physical design flow (Section 4.2, Figure 7). The paper
+// synthesized normal and big routers with Synopsys Design Compiler and
+// placed them with Cadence SoC Encounter in TSMC 40 nm LP; without EDA
+// tools, this package encodes the published primitive quantities (gate
+// counts, standard-cell counts, power, densities) and regenerates the
+// derived rows of Figure 7 — per-module area, tile power, chip-level
+// totals — from the same arithmetic the paper uses, for any mesh size and
+// big-router deployment.
+package chipmodel
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Technology constants (TSMC 40 nm low power, typical case).
+const (
+	Technology  = "TSMC 40 nm Low power, Typical case (lpbwptc)"
+	CoreVoltage = 1.1 // V
+	ChipInputV  = 1.7 // V
+	ClockGHz    = 2.0
+
+	TotalLayers    = 28
+	MetalLayers    = 10
+	ViaLayers      = 11
+	ImplantLayers  = 5
+	MasterSliceLay = 1
+	APLayers       = 1
+)
+
+// Module is one synthesized block with its Figure 7a characteristics.
+type Module struct {
+	Name        string
+	GateCountK  float64 // equivalent NAND gates, thousands
+	SCCountK    float64 // standard cells, thousands
+	NetCountK   float64
+	SCAreaMM2   float64
+	CellDensity float64 // fraction before filler insertion
+	WireLengthM float64
+	AreaMM2     float64
+	DynPowerMW  float64
+}
+
+// The paper's synthesized modules (Figure 7a plus Section 4.2 power
+// numbers). The OpenRISC 1200 core is configured per Table 1.
+var (
+	Core = Module{
+		Name: "Core (OR1200)", GateCountK: 152.5, SCCountK: 23.2, NetCountK: 60.9,
+		SCAreaMM2: 0.97, CellDensity: 0.4826, WireLengthM: 8.81, AreaMM2: 2.03,
+		DynPowerMW: 623.5,
+	}
+	NormalRouter = Module{
+		Name: "Normal router", GateCountK: 19.9, SCCountK: 3.6, NetCountK: 10.0,
+		SCAreaMM2: 0.13, CellDensity: 0.6190, WireLengthM: 1.28, AreaMM2: 0.21,
+		DynPowerMW: 84.2,
+	}
+	BigRouter = Module{
+		Name: "Big router", GateCountK: 22.4, SCCountK: 4.0, NetCountK: 11.1,
+		SCAreaMM2: 0.14, CellDensity: 0.6667, WireLengthM: 1.42, AreaMM2: 0.21,
+		DynPowerMW: 92.6,
+	}
+)
+
+// Packet-generator overheads derived in Section 4.2.
+const (
+	PacketGenGatesK   = 22.4 - 19.9 // 2.5K gates
+	PacketGenPowerMW  = 8.4
+	RouterDimensionUM = 460
+	TileGapUM         = 1.8
+	LinkWiresPerDir   = 128
+	WireWidthUM       = 0.007
+)
+
+// PacketGenPowerOverhead is the generator's dynamic power relative to a
+// normal router (the paper reports 9.9%).
+func PacketGenPowerOverhead() float64 {
+	return PacketGenPowerMW / NormalRouter.DynPowerMW
+}
+
+// TilePowerMW returns a tile's dynamic power: one core plus its router.
+// The paper: big tile 716.1 mW, normal tile 707.7 mW.
+func TilePowerMW(big bool) float64 {
+	if big {
+		return Core.DynPowerMW + BigRouter.DynPowerMW
+	}
+	return Core.DynPowerMW + NormalRouter.DynPowerMW
+}
+
+// ChipSummary aggregates a whole-chip estimate for a given configuration.
+type ChipSummary struct {
+	Cores        int
+	BigRouters   int
+	TotalGatesK  float64
+	TotalAreaMM2 float64
+	TotalPowerW  float64
+	EdgeUM       float64 // square die edge estimate
+}
+
+// Chip computes chip-level totals for cores tiles of which bigRouters are
+// big. The paper's 8×8 instance reports an 11395 µm edge.
+func Chip(cores, bigRouters int) (ChipSummary, error) {
+	if cores <= 0 || bigRouters < 0 || bigRouters > cores {
+		return ChipSummary{}, fmt.Errorf("chipmodel: invalid configuration cores=%d big=%d", cores, bigRouters)
+	}
+	normal := cores - bigRouters
+	s := ChipSummary{Cores: cores, BigRouters: bigRouters}
+	s.TotalGatesK = float64(cores)*Core.GateCountK +
+		float64(bigRouters)*BigRouter.GateCountK +
+		float64(normal)*NormalRouter.GateCountK
+	tileArea := Core.AreaMM2 + NormalRouter.AreaMM2 // routers share one dimension
+	s.TotalAreaMM2 = float64(cores) * tileArea
+	s.TotalPowerW = (float64(bigRouters)*TilePowerMW(true) +
+		float64(normal)*TilePowerMW(false)) / 1000
+	// Square-die edge: tiles in a √cores × √cores grid with the paper's
+	// inter-tile wiring gap.
+	side := 1
+	for side*side < cores {
+		side++
+	}
+	tileEdgeUM := 1000 * sqrtMM2(tileArea)
+	s.EdgeUM = float64(side)*tileEdgeUM + float64(side-1)*TileGapUM
+	return s, nil
+}
+
+// sqrtMM2 returns the edge in mm of a square of the given area.
+func sqrtMM2(area float64) float64 {
+	if area <= 0 {
+		return 0
+	}
+	x := area
+	for i := 0; i < 40; i++ {
+		x = 0.5 * (x + area/x)
+	}
+	return x
+}
+
+// LinkWidthUM returns the physical width of one inter-router link bundle
+// (128 wires per direction at the paper's wire pitch).
+func LinkWidthUM() float64 { return LinkWiresPerDir * WireWidthUM }
+
+// RenderFigure7 prints the module table and derived values in the shape of
+// Figure 7a.
+func RenderFigure7(cores, bigRouters int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Technology        %s\n", Technology)
+	fmt.Fprintf(&b, "Total layers      %d (metal %d, via %d, implant %d, master-slice %d, AP %d)\n",
+		TotalLayers, MetalLayers, ViaLayers, ImplantLayers, MasterSliceLay, APLayers)
+	fmt.Fprintf(&b, "%-18s %10s %8s %8s %10s %9s %8s %8s\n",
+		"Module", "Gates(K)", "SC(K)", "Nets(K)", "SCmm2", "Density", "Wire(m)", "mW")
+	for _, m := range []Module{Core, BigRouter, NormalRouter} {
+		fmt.Fprintf(&b, "%-18s %10.1f %8.1f %8.1f %10.2f %8.2f%% %8.2f %8.1f\n",
+			m.Name, m.GateCountK, m.SCCountK, m.NetCountK, m.SCAreaMM2,
+			100*m.CellDensity, m.WireLengthM, m.DynPowerMW)
+	}
+	fmt.Fprintf(&b, "Packet generator  %10.1fK gates, %.1f mW (%.2f%% of a normal router)\n",
+		PacketGenGatesK, PacketGenPowerMW, 100*PacketGenPowerOverhead())
+	fmt.Fprintf(&b, "Tile power        big %.1f mW, normal %.1f mW\n", TilePowerMW(true), TilePowerMW(false))
+	if sum, err := Chip(cores, bigRouters); err == nil {
+		fmt.Fprintf(&b, "Chip (%d cores, %d big routers): %.1fK gates, %.1f mm2, %.2f W, edge %.0f um\n",
+			sum.Cores, sum.BigRouters, sum.TotalGatesK, sum.TotalAreaMM2, sum.TotalPowerW, sum.EdgeUM)
+	}
+	return b.String()
+}

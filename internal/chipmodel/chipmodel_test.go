@@ -1,0 +1,78 @@
+package chipmodel
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestPaperGateCounts(t *testing.T) {
+	if NormalRouter.GateCountK != 19.9 || BigRouter.GateCountK != 22.4 {
+		t.Fatal("router gate counts diverge from Figure 7a")
+	}
+	if !approx(PacketGenGatesK, 2.5, 1e-9) {
+		t.Fatalf("packet generator = %.2fK gates, want 2.5K", PacketGenGatesK)
+	}
+}
+
+func TestPacketGenPowerOverhead(t *testing.T) {
+	// The paper reports 9.9% (8.4 mW over an 84.2 mW normal router).
+	got := 100 * PacketGenPowerOverhead()
+	if !approx(got, 9.9, 0.2) {
+		t.Fatalf("overhead = %.2f%%, want ≈9.9%%", got)
+	}
+}
+
+func TestTilePower(t *testing.T) {
+	if !approx(TilePowerMW(true), 716.1, 0.01) {
+		t.Fatalf("big tile = %.1f mW, want 716.1", TilePowerMW(true))
+	}
+	if !approx(TilePowerMW(false), 707.7, 0.01) {
+		t.Fatalf("normal tile = %.1f mW, want 707.7", TilePowerMW(false))
+	}
+}
+
+func TestChipTotals(t *testing.T) {
+	sum, err := Chip(64, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 64 cores × 152.5K + 32 × 22.4K + 32 × 19.9K = 11113.6K gates.
+	if !approx(sum.TotalGatesK, 11113.6, 0.1) {
+		t.Fatalf("gates = %.1fK", sum.TotalGatesK)
+	}
+	// Paper's die edge: 11395 µm; our square-tile estimate must land close.
+	if sum.EdgeUM < 10500 || sum.EdgeUM > 12500 {
+		t.Fatalf("edge = %.0f µm, want near the paper's 11395", sum.EdgeUM)
+	}
+	if sum.TotalPowerW < 40 || sum.TotalPowerW > 50 {
+		t.Fatalf("power = %.1f W out of plausible band", sum.TotalPowerW)
+	}
+}
+
+func TestChipValidation(t *testing.T) {
+	if _, err := Chip(0, 0); err == nil {
+		t.Fatal("zero cores accepted")
+	}
+	if _, err := Chip(4, 5); err == nil {
+		t.Fatal("more big routers than cores accepted")
+	}
+}
+
+func TestLinkWidth(t *testing.T) {
+	// 128 wires × 0.007 µm ≈ 0.9 µm, well under the 1.8 µm tile gap.
+	if w := LinkWidthUM(); w <= 0 || w >= TileGapUM {
+		t.Fatalf("link width %.3f µm must fit the %.1f µm gap", w, TileGapUM)
+	}
+}
+
+func TestRenderFigure7(t *testing.T) {
+	out := RenderFigure7(64, 32)
+	for _, want := range []string{"TSMC 40 nm", "Big router", "22.4", "716.1", "9.98%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered figure missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,286 @@
+package coherence
+
+import (
+	"testing"
+
+	"inpg/internal/cache"
+	"inpg/internal/memory"
+	"inpg/internal/noc"
+	"inpg/internal/sim"
+)
+
+// smallFabric builds a 4×4 fabric with fast DRAM for protocol tests.
+func smallFabric(t *testing.T) *Fabric {
+	t.Helper()
+	eng := sim.NewEngine(11)
+	cfg := FabricConfig{
+		Net: noc.Config{Mesh: noc.Mesh{Width: 4, Height: 4}, VCsPerPort: 6, VCDepth: 4},
+		L1:  L1Config{Cache: cache.Config{SizeBytes: 4096, Ways: 4, BlockBytes: 128}, MSHRs: 8, HitLatency: 2},
+		Dir: DirConfig{L2Latency: 6},
+		Mem: memory.Config{Controllers: 4, Latency: 30, MaxOutstanding: 16},
+	}
+	f, err := NewFabric(eng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// runUntil steps the engine until done() or the budget is exhausted.
+func runUntil(t *testing.T, f *Fabric, budget sim.Cycle, done func() bool) {
+	t.Helper()
+	if _, err := f.Eng.Run(budget, done); err != nil {
+		t.Fatalf("simulation did not converge: %v", err)
+	}
+}
+
+func TestColdLoadReturnsZero(t *testing.T) {
+	f := smallFabric(t)
+	addr := f.Homes.AddrForHome(5, 0)
+	got := uint64(99)
+	doneF := false
+	f.L1s[0].Load(addr, false, 0, func(v uint64) { got = v; doneF = true })
+	runUntil(t, f, 10000, func() bool { return doneF })
+	if got != 0 {
+		t.Fatalf("cold load = %d, want 0", got)
+	}
+	// First reader of an uncached line is granted Exclusive.
+	ln := f.L1s[0].Cache().Peek(addr)
+	if ln == nil || ln.State != cache.Exclusive {
+		t.Fatalf("line after cold load = %+v, want Exclusive", ln)
+	}
+}
+
+func TestStoreThenRemoteLoad(t *testing.T) {
+	f := smallFabric(t)
+	addr := f.Homes.AddrForHome(3, 0)
+	step := 0
+	f.L1s[0].Store(addr, 42, false, 0, func() { step = 1 })
+	runUntil(t, f, 10000, func() bool { return step == 1 })
+	var got uint64
+	f.L1s[7].Load(addr, false, 0, func(v uint64) { got = v; step = 2 })
+	runUntil(t, f, 10000, func() bool { return step == 2 })
+	if got != 42 {
+		t.Fatalf("remote load after store = %d, want 42", got)
+	}
+	// The writer downgraded to Shared (forward + copyback), reader Shared.
+	if ln := f.L1s[0].Cache().Peek(addr); ln == nil || ln.State != cache.Shared {
+		t.Fatalf("writer line = %+v, want Shared", ln)
+	}
+	if ln := f.L1s[7].Cache().Peek(addr); ln == nil || ln.State != cache.Shared {
+		t.Fatalf("reader line = %+v, want Shared", ln)
+	}
+}
+
+func TestWriteInvalidatesSharers(t *testing.T) {
+	f := smallFabric(t)
+	addr := f.Homes.AddrForHome(0, 1)
+	// Three readers pull shared copies.
+	got := 0
+	for _, id := range []int{1, 2, 3} {
+		f.L1s[id].Load(addr, false, 0, func(uint64) { got++ })
+	}
+	runUntil(t, f, 20000, func() bool { return got == 3 })
+	// A fourth core writes: all shared copies must be invalidated.
+	doneW := false
+	f.L1s[8].Store(addr, 7, false, 0, func() { doneW = true })
+	runUntil(t, f, 20000, func() bool { return doneW })
+	for _, id := range []int{1, 2, 3} {
+		if ln := f.L1s[id].Cache().Peek(addr); ln != nil {
+			t.Fatalf("core %d still holds %v after remote write", id, ln.State)
+		}
+	}
+	if ln := f.L1s[8].Cache().Peek(addr); ln == nil || ln.State != cache.Modified || ln.Data != 7 {
+		t.Fatalf("writer line = %+v, want M/7", ln)
+	}
+	if err := f.CheckInvariants([]uint64{addr}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAtomicSwapReturnsOldValue(t *testing.T) {
+	f := smallFabric(t)
+	addr := f.Homes.AddrForHome(9, 0)
+	step := 0
+	f.L1s[2].Store(addr, 5, false, 0, func() { step = 1 })
+	runUntil(t, f, 10000, func() bool { return step == 1 })
+	var old uint64
+	f.L1s[4].Atomic(addr, Swap, 11, 0, 0, func(v uint64) { old = v; step = 2 })
+	runUntil(t, f, 10000, func() bool { return step == 2 })
+	if old != 5 {
+		t.Fatalf("swap old = %d, want 5", old)
+	}
+	var readBack uint64
+	f.L1s[2].Load(addr, false, 0, func(v uint64) { readBack = v; step = 3 })
+	runUntil(t, f, 10000, func() bool { return step == 3 })
+	if readBack != 11 {
+		t.Fatalf("read back = %d, want 11", readBack)
+	}
+}
+
+func TestCompareSwapSemantics(t *testing.T) {
+	f := smallFabric(t)
+	addr := f.Homes.AddrForHome(1, 2)
+	step := 0
+	var old1, old2 uint64
+	f.L1s[0].Atomic(addr, CompareSwap, 0, 9, 0, func(v uint64) { old1 = v; step = 1 })
+	runUntil(t, f, 10000, func() bool { return step == 1 })
+	f.L1s[1].Atomic(addr, CompareSwap, 3, 77, 0, func(v uint64) { old2 = v; step = 2 })
+	runUntil(t, f, 10000, func() bool { return step == 2 })
+	if old1 != 0 || old2 != 9 {
+		t.Fatalf("CAS olds = %d,%d want 0,9", old1, old2)
+	}
+	var final uint64
+	f.L1s[2].Load(addr, false, 0, func(v uint64) { final = v; step = 3 })
+	runUntil(t, f, 10000, func() bool { return step == 3 })
+	if final != 9 {
+		t.Fatalf("failed CAS must not write: value = %d, want 9", final)
+	}
+}
+
+// TestFetchAddAtomicity is the core serialization property: N cores each
+// fetch-add 1 to the same word K times, concurrently. Every increment must
+// be preserved.
+func TestFetchAddAtomicity(t *testing.T) {
+	f := smallFabric(t)
+	addr := f.Homes.AddrForHome(10, 0)
+	const perCore = 8
+	cores := len(f.L1s)
+	finished := 0
+	for id := 0; id < cores; id++ {
+		l1 := f.L1s[id]
+		var step func(k int)
+		step = func(k int) {
+			if k == perCore {
+				finished++
+				return
+			}
+			l1.Atomic(addr, FetchAdd, 1, 0, 0, func(uint64) { step(k + 1) })
+		}
+		step(0)
+	}
+	runUntil(t, f, 2_000_000, func() bool { return finished == cores })
+	var final uint64
+	got := false
+	f.L1s[0].Load(addr, false, 0, func(v uint64) { final = v; got = true })
+	runUntil(t, f, 100000, func() bool { return got })
+	if final != uint64(cores*perCore) {
+		t.Fatalf("final = %d, want %d: increments lost", final, cores*perCore)
+	}
+	if err := f.CheckInvariants([]uint64{addr}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentSwapOneWinner mirrors the paper's Step 2-4: all cores swap
+// 1 into a zero-initialized lock; exactly one must observe the old value 0.
+func TestConcurrentSwapOneWinner(t *testing.T) {
+	f := smallFabric(t)
+	addr := f.Homes.AddrForHome(6, 3)
+	winners, done := 0, 0
+	for id := range f.L1s {
+		f.L1s[id].Atomic(addr, Swap, 1, 0, 0, func(old uint64) {
+			if old == 0 {
+				winners++
+			}
+			done++
+		})
+	}
+	runUntil(t, f, 1_000_000, func() bool { return done == len(f.L1s) })
+	if winners != 1 {
+		t.Fatalf("%d cores won the swap race, want exactly 1", winners)
+	}
+}
+
+func TestEvictionWritebackPreservesData(t *testing.T) {
+	f := smallFabric(t)
+	// L1: 4096 B, 4-way, 128 B blocks → 8 sets; set stride 1024, wrap 8192.
+	// Write 5 conflicting lines (same set) to force eviction of the first.
+	base := f.Homes.AddrForHome(2, 0)
+	conflict := func(i int) uint64 { return base + uint64(i)*8192*2 } // same set, same home parity
+	step := 0
+	var chain func(i int)
+	chain = func(i int) {
+		if i == 5 {
+			step = 1
+			return
+		}
+		f.L1s[3].Store(conflict(i), uint64(100+i), false, 0, func() { chain(i + 1) })
+	}
+	chain(0)
+	runUntil(t, f, 200000, func() bool { return step == 1 })
+	if ln := f.L1s[3].Cache().Peek(conflict(0)); ln != nil {
+		t.Fatalf("first line should be evicted, still %v", ln.State)
+	}
+	// Read it back from another core: the writeback must have carried 100.
+	var got uint64
+	f.L1s[12].Load(conflict(0), false, 0, func(v uint64) { got = v; step = 2 })
+	runUntil(t, f, 200000, func() bool { return step == 2 })
+	if got != 100 {
+		t.Fatalf("read after writeback = %d, want 100", got)
+	}
+}
+
+func TestSpinReadersSeeRelease(t *testing.T) {
+	// A waiter spins on a cached copy; the holder's release (store 0) must
+	// invalidate it and the next read must see the new value.
+	f := smallFabric(t)
+	addr := f.Homes.AddrForHome(8, 0)
+	step := 0
+	f.L1s[0].Store(addr, 1, false, 0, func() { step = 1 }) // lock held
+	runUntil(t, f, 10000, func() bool { return step == 1 })
+	var v1 uint64
+	f.L1s[5].Load(addr, true, 0, func(v uint64) { v1 = v; step = 2 })
+	runUntil(t, f, 10000, func() bool { return step == 2 })
+	if v1 != 1 {
+		t.Fatalf("spin read = %d, want 1", v1)
+	}
+	// Spin locally: hit.
+	hits0 := f.L1s[5].Stats.Hits
+	f.L1s[5].Load(addr, true, 0, func(uint64) { step = 3 })
+	runUntil(t, f, 10000, func() bool { return step == 3 })
+	if f.L1s[5].Stats.Hits != hits0+1 {
+		t.Fatal("second spin read should hit locally")
+	}
+	// Release.
+	f.L1s[0].Store(addr, 0, false, 0, func() { step = 4 })
+	runUntil(t, f, 10000, func() bool { return step == 4 })
+	if ln := f.L1s[5].Cache().Peek(addr); ln != nil {
+		t.Fatalf("waiter copy not invalidated by release: %v", ln.State)
+	}
+	var v2 uint64
+	f.L1s[5].Load(addr, true, 0, func(v uint64) { v2 = v; step = 5 })
+	runUntil(t, f, 10000, func() bool { return step == 5 })
+	if v2 != 0 {
+		t.Fatalf("read after release = %d, want 0", v2)
+	}
+}
+
+func TestHomeMapRoundTrip(t *testing.T) {
+	h := HomeMap{Nodes: 64, BlockBytes: 128}
+	for node := noc.NodeID(0); node < 64; node++ {
+		for n := 0; n < 4; n++ {
+			a := h.AddrForHome(node, n)
+			if h.Home(a) != node {
+				t.Fatalf("AddrForHome(%d,%d)=%#x maps to %d", node, n, a, h.Home(a))
+			}
+		}
+	}
+}
+
+func TestMsgTypeVNets(t *testing.T) {
+	if MsgGetX.VNet() != noc.VNetRequest || MsgInv.VNet() != noc.VNetForward || MsgData.VNet() != noc.VNetResponse {
+		t.Fatal("message class mapping broken")
+	}
+}
+
+func TestLCOStatAccumulates(t *testing.T) {
+	f := smallFabric(t)
+	addr := f.Homes.AddrForHome(4, 0)
+	done := false
+	f.L1s[0].Atomic(addr, Swap, 1, 0, 0, func(uint64) { done = true })
+	runUntil(t, f, 10000, func() bool { return done })
+	if f.L1s[0].Stats.LockStallCycles == 0 {
+		t.Fatal("atomic miss must accumulate lock stall cycles")
+	}
+}

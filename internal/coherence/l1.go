@@ -1,0 +1,508 @@
+package coherence
+
+import (
+	"fmt"
+
+	"inpg/internal/cache"
+	"inpg/internal/noc"
+	"inpg/internal/sim"
+)
+
+// AtomicOp selects the read-modify-write performed by L1.Atomic.
+type AtomicOp int
+
+// Atomic operation kinds used by the lock primitives.
+const (
+	// Swap atomically exchanges the word with operand A (the paper's SWAP
+	// instruction / gem5 GetX path).
+	Swap AtomicOp = iota
+	// FetchAdd atomically adds operand A and returns the old value
+	// (ticket and ABQL tail counters).
+	FetchAdd
+	// CompareSwap writes operand B if the word equals operand A, returning
+	// the old value (MCS tail updates).
+	CompareSwap
+)
+
+// opKind distinguishes the pending CPU operation held in an MSHR entry.
+type opKind int
+
+const (
+	opLoad opKind = iota
+	opStore
+	opAtomic
+)
+
+// pendingOp is the CPU operation bound to an outstanding transaction.
+type pendingOp struct {
+	kind    opKind
+	atomic  AtomicOp
+	a, b    uint64
+	loadCB  func(uint64)
+	storeCB func()
+	rmwCB   func(uint64)
+	issued  sim.Cycle
+	lock    bool
+}
+
+// trState is the transient protocol state of an MSHR entry.
+const (
+	trIS  = iota // GetS outstanding, waiting for Data
+	trIM         // GetX outstanding, waiting for DataExcl + AcksComplete
+	trREL        // PutRelease outstanding, waiting for ReleaseAck
+)
+
+// L1Stats counts controller activity.
+type L1Stats struct {
+	Loads, Stores, Atomics uint64
+	Hits, Misses           uint64
+	InvsReceived           uint64
+	StaleInvsIgnored       uint64
+	WritebacksSent         uint64
+	SwapsFailed            uint64 // atomics completed as failed via shared copies
+	ProbesServed           uint64 // losing swaps this owner answered directly
+	ProbesFailed           uint64 // probes that missed (lock state changed)
+	LockStallCycles        uint64 // cycles lock-flagged ops spent outstanding
+	TotalStallCycles       uint64
+}
+
+// L1Config configures one private L1 controller.
+type L1Config struct {
+	Cache      cache.Config
+	MSHRs      int
+	HitLatency sim.Cycle
+}
+
+// DefaultL1Config returns the paper's Table 1 L1: 32 KB, 4-way, 128 B
+// blocks, 2-cycle latency, 32 MSHRs.
+func DefaultL1Config() L1Config {
+	return L1Config{
+		Cache:      cache.Config{SizeBytes: 32 * 1024, Ways: 4, BlockBytes: 128},
+		MSHRs:      32,
+		HitLatency: 2,
+	}
+}
+
+// L1 is a private, coherent L1 cache controller. The attached core issues
+// Load/Store/Atomic operations with completion callbacks; the controller
+// exchanges protocol messages with directory controllers through the NoC.
+type L1 struct {
+	Node  noc.NodeID
+	eng   *sim.Engine
+	arr   *cache.Cache
+	mshr  *cache.MSHR
+	ni    *noc.NI
+	homes HomeMap
+	cfg   L1Config
+
+	// evict holds data of dirty lines between PutM and WBAck so in-flight
+	// forwards can still be serviced.
+	evict map[uint64]uint64
+
+	Stats L1Stats
+}
+
+// NewL1 builds an L1 controller for node, injecting through ni.
+func NewL1(eng *sim.Engine, node noc.NodeID, ni *noc.NI, homes HomeMap, cfg L1Config) (*L1, error) {
+	arr, err := cache.New(cfg.Cache)
+	if err != nil {
+		return nil, fmt.Errorf("l1 node %d: %w", node, err)
+	}
+	return &L1{
+		Node:  node,
+		eng:   eng,
+		arr:   arr,
+		mshr:  cache.NewMSHR(cfg.MSHRs),
+		ni:    ni,
+		homes: homes,
+		cfg:   cfg,
+		evict: make(map[uint64]uint64),
+	}, nil
+}
+
+// Cache exposes the underlying array for invariant checkers and tests.
+func (l *L1) Cache() *cache.Cache { return l.arr }
+
+// send wraps m in a packet and injects it.
+func (l *L1) send(m *Message, dst noc.NodeID, priority int) {
+	m.From = l.Node
+	l.ni.Inject(packetFor(m, dst, priority))
+}
+
+// respPriority is the fixed arbitration priority of forward/response
+// traffic under OCOR, keeping protocol completion ahead of new requests.
+const respPriority = 100
+
+// Load issues a read. cb fires with the value when the access completes.
+// lock marks the access as part of a lock-acquire protocol for statistics;
+// priority is the OCOR arbitration priority for any request packet sent.
+func (l *L1) Load(addr uint64, lock bool, priority int, cb func(uint64)) {
+	l.Stats.Loads++
+	addr = l.arr.BlockAlign(addr)
+	if line := l.arr.Lookup(addr); line != nil {
+		l.Stats.Hits++
+		v := line.Data
+		l.eng.Schedule(l.cfg.HitLatency-1, func() { cb(v) })
+		return
+	}
+	l.Stats.Misses++
+	e := l.mshr.Allocate(addr)
+	if e == nil {
+		// One outstanding op per core keeps this unreachable in practice;
+		// retry next cycle if a torture test ever gets here.
+		l.eng.Schedule(0, func() { l.Load(addr, lock, priority, cb) })
+		return
+	}
+	e.State = trIS
+	e.Aux = &pendingOp{kind: opLoad, loadCB: cb, issued: l.eng.Now(), lock: lock}
+	l.send(&Message{Type: MsgGetS, Addr: addr, Requestor: l.Node, ToDir: true, LockAddr: lock}, l.homes.Home(addr), priority)
+}
+
+// Store issues a write. cb fires when the write is globally performed.
+func (l *L1) Store(addr uint64, val uint64, lock bool, priority int, cb func()) {
+	l.Stats.Stores++
+	addr = l.arr.BlockAlign(addr)
+	if line := l.arr.Lookup(addr); line != nil {
+		switch line.State {
+		case cache.Modified, cache.Exclusive:
+			l.Stats.Hits++
+			line.State = cache.Modified
+			line.Data = val
+			l.eng.Schedule(l.cfg.HitLatency-1, func() { cb() })
+			return
+		}
+	}
+	l.Stats.Misses++
+	l.issueGetX(addr, &pendingOp{kind: opStore, a: val, storeCB: cb, issued: l.eng.Now(), lock: lock}, false, priority)
+}
+
+// StoreRelease performs a synchronization store: the value is written
+// through to the home node (the paper's Step 4 release), which recalls
+// every cached copy of the line and acknowledges when the invalidation
+// storm completes. The local copy is dropped — the released value lives
+// at the home.
+func (l *L1) StoreRelease(addr uint64, val uint64, lock bool, priority int, cb func()) {
+	l.Stats.Stores++
+	addr = l.arr.BlockAlign(addr)
+	l.arr.Invalidate(addr)
+	e := l.mshr.Allocate(addr)
+	if e == nil {
+		l.eng.Schedule(0, func() { l.StoreRelease(addr, val, lock, priority, cb) })
+		return
+	}
+	e.State = trREL
+	e.Aux = &pendingOp{kind: opStore, a: val, storeCB: cb, issued: l.eng.Now(), lock: lock}
+	l.send(&Message{Type: MsgPutRelease, Addr: addr, Requestor: l.Node, Data: val, ToDir: true, LockAddr: lock}, l.homes.Home(addr), priority)
+}
+
+// Atomic issues a read-modify-write. All atomics are lock operations: the
+// GetX they issue is flagged LockAddr so big routers can key their barrier
+// tables on it. cb fires with the pre-operation value.
+func (l *L1) Atomic(addr uint64, op AtomicOp, a, b uint64, priority int, cb func(old uint64)) {
+	l.Stats.Atomics++
+	addr = l.arr.BlockAlign(addr)
+	if line := l.arr.Lookup(addr); line != nil {
+		switch line.State {
+		case cache.Modified, cache.Exclusive:
+			l.Stats.Hits++
+			line.State = cache.Modified
+			old := line.Data
+			line.Data = applyAtomic(op, old, a, b)
+			l.eng.Schedule(l.cfg.HitLatency-1, func() { cb(old) })
+			return
+		}
+	}
+	l.Stats.Misses++
+	l.issueGetX(addr, &pendingOp{kind: opAtomic, atomic: op, a: a, b: b, rmwCB: cb, issued: l.eng.Now(), lock: true}, true, priority)
+}
+
+// issueGetX allocates a transaction and sends the exclusive request.
+func (l *L1) issueGetX(addr uint64, op *pendingOp, lockAddr bool, priority int) {
+	e := l.mshr.Allocate(addr)
+	if e == nil {
+		l.eng.Schedule(0, func() { l.issueGetX(addr, op, lockAddr, priority) })
+		return
+	}
+	e.State = trIM
+	e.Aux = op
+	m := &Message{Type: MsgGetX, Addr: addr, Requestor: l.Node, ToDir: true, LockAddr: lockAddr}
+	if op.kind == opAtomic && op.atomic == Swap {
+		m.IsSwap = true
+		m.Operand = op.a
+	}
+	l.send(m, l.homes.Home(addr), priority)
+}
+
+// applyAtomic computes the post-operation value.
+func applyAtomic(op AtomicOp, old, a, b uint64) uint64 {
+	switch op {
+	case Swap:
+		return a
+	case FetchAdd:
+		return old + a
+	case CompareSwap:
+		if old == a {
+			return b
+		}
+		return old
+	}
+	return old
+}
+
+// Receive handles a coherence message delivered to this L1.
+func (l *L1) Receive(now sim.Cycle, m *Message) {
+	switch m.Type {
+	case MsgData:
+		l.onData(now, m)
+	case MsgDataExcl:
+		l.onDataExcl(now, m)
+	case MsgAcksComplete:
+		l.onAcksComplete(now, m)
+	case MsgInv:
+		l.onInv(now, m)
+	case MsgFwdGetS:
+		l.onFwdGetS(m)
+	case MsgFwdGetX:
+		l.onFwdGetX(m)
+	case MsgLockProbe:
+		l.onLockProbe(m)
+	case MsgWBAck:
+		delete(l.evict, m.Addr)
+	case MsgReleaseAck:
+		l.onReleaseAck(now, m)
+	case MsgInvAck:
+		// A stray relayed ack (its barrier expired mid-flight); harmless.
+		l.Stats.StaleInvsIgnored++
+	default:
+		panic(fmt.Sprintf("l1 %d: unexpected %v", l.Node, m))
+	}
+}
+
+// onData completes a GetS transaction, or — for an outstanding SWAP — a
+// failed-swap downgrade: the loser receives a valid shared copy whose
+// value equals its operand, so the swap completes as a no-op returning
+// the observed (occupied) value, exactly the paper's losing-thread flow.
+func (l *L1) onData(now sim.Cycle, m *Message) {
+	e := l.mshr.Get(m.Addr)
+	if e == nil {
+		return // stale response
+	}
+	op := e.Aux.(*pendingOp)
+	switch e.State {
+	case trIS:
+		if !e.Invalidated {
+			st := cache.Shared
+			if m.Excl {
+				st = cache.Exclusive
+			}
+			l.insert(m.Addr, st, m.Data)
+		}
+		l.finishStall(now, op)
+		l.mshr.Free(m.Addr)
+		if m.Excl {
+			// Exclusive grants block the home until this unblock.
+			l.send(&Message{Type: MsgUnblock, Addr: m.Addr, Requestor: l.Node, ToDir: true}, l.homes.Home(m.Addr), respPriority)
+		}
+		op.loadCB(m.Data)
+	case trIM:
+		if op.kind != opAtomic || op.atomic != Swap {
+			panic(fmt.Sprintf("l1 %d: shared data for non-swap exclusive request", l.Node))
+		}
+		l.Stats.SwapsFailed++
+		if !e.Invalidated {
+			l.insert(m.Addr, cache.Shared, m.Data)
+		}
+		l.finishStall(now, op)
+		l.mshr.Free(m.Addr)
+		op.rmwCB(m.Data)
+	}
+}
+
+// onDataExcl records arrival of data+ownership for a GetX transaction.
+func (l *L1) onDataExcl(now sim.Cycle, m *Message) {
+	e := l.mshr.Get(m.Addr)
+	if e == nil || e.State != trIM {
+		return
+	}
+	e.DataReady = true
+	e.PendingData = m.Data
+	l.tryCompleteX(now, m.Addr, e)
+}
+
+// onAcksComplete records that the home collected every invalidation ack.
+func (l *L1) onAcksComplete(now sim.Cycle, m *Message) {
+	e := l.mshr.Get(m.Addr)
+	if e == nil || e.State != trIM {
+		return
+	}
+	e.AcksDone = true
+	l.tryCompleteX(now, m.Addr, e)
+}
+
+// tryCompleteX finishes a GetX transaction once both the data and the
+// ack-completion have arrived: the line becomes Modified, the pending
+// operation executes atomically, the home is unblocked.
+func (l *L1) tryCompleteX(now sim.Cycle, addr uint64, e *cache.MSHREntry) {
+	if !e.DataReady || !e.AcksDone {
+		return
+	}
+	val := e.PendingData
+	// A surviving local copy (upgrade path) is always current in an
+	// invalidation protocol; prefer it over the (possibly stale when the
+	// previous owner forwarded data directly) home value.
+	if line := l.arr.Peek(addr); line != nil {
+		val = line.Data
+	}
+	op := e.Aux.(*pendingOp)
+	old := val
+	switch op.kind {
+	case opStore:
+		l.insert(addr, cache.Modified, op.a)
+	case opAtomic:
+		l.insert(addr, cache.Modified, applyAtomic(op.atomic, old, op.a, op.b))
+	default:
+		panic("tryCompleteX: load in trIM")
+	}
+	l.finishStall(now, op)
+	l.mshr.Free(addr)
+	l.send(&Message{Type: MsgUnblock, Addr: addr, Requestor: l.Node, ToDir: true}, l.homes.Home(addr), respPriority)
+	switch op.kind {
+	case opStore:
+		op.storeCB()
+	case opAtomic:
+		op.rmwCB(old)
+	}
+}
+
+// finishStall accounts outstanding-time statistics for a completed op.
+func (l *L1) finishStall(now sim.Cycle, op *pendingOp) {
+	d := uint64(now - op.issued)
+	l.Stats.TotalStallCycles += d
+	if op.lock {
+		l.Stats.LockStallCycles += d
+	}
+}
+
+// insert fills the line, sending a writeback for any dirty victim.
+func (l *L1) insert(addr uint64, st cache.State, data uint64) {
+	_, ev := l.arr.Insert(addr, st, data)
+	if ev == nil {
+		return
+	}
+	switch ev.State {
+	case cache.Modified, cache.Owned, cache.Exclusive:
+		l.Stats.WritebacksSent++
+		l.evict[ev.Addr] = ev.Data
+		l.send(&Message{Type: MsgPutM, Addr: ev.Addr, Requestor: l.Node, Data: ev.Data, ToDir: true}, l.homes.Home(ev.Addr), respPriority)
+	}
+}
+
+// onInv invalidates a shared copy and acknowledges to m.AckTo. Invalidation
+// of an owned (M/E/O) line can only be a stale early invalidation that
+// raced with this node winning the line; it is acknowledged but ignored.
+func (l *L1) onInv(now sim.Cycle, m *Message) {
+	l.Stats.InvsReceived++
+	if e := l.mshr.Get(m.Addr); e != nil {
+		// The invalidation raced with an in-flight fill: the shared copy
+		// about to arrive is already stale and must not be installed.
+		e.Invalidated = true
+	}
+	if line := l.arr.Peek(m.Addr); line != nil {
+		switch {
+		case m.Recall:
+			// A release write-through supersedes any cached copy,
+			// including dirty ones.
+			line.State = cache.Invalid
+		case line.State == cache.Shared:
+			line.State = cache.Invalid
+		default:
+			l.Stats.StaleInvsIgnored++
+		}
+	}
+	l.sendInvAck(m)
+}
+
+// onReleaseAck completes a synchronization store: the home holds the
+// released value and every stale copy has been recalled.
+func (l *L1) onReleaseAck(now sim.Cycle, m *Message) {
+	e := l.mshr.Get(m.Addr)
+	if e == nil || e.State != trREL {
+		return
+	}
+	op := e.Aux.(*pendingOp)
+	l.finishStall(now, op)
+	l.mshr.Free(m.Addr)
+	op.storeCB()
+}
+
+// sendInvAck acknowledges an invalidation to whoever generated it.
+func (l *L1) sendInvAck(m *Message) {
+	ack := &Message{Type: MsgInvAck, Addr: m.Addr, AckFor: l.Node, EarlyInv: m.EarlyInv, ToDir: !m.EarlyInv, Token: m.Token}
+	l.send(ack, m.AckTo, respPriority)
+}
+
+// onFwdGetS services a read on a line this node owns: send a shared copy
+// to the requester, downgrade to Shared and copy the dirty value back to
+// the home so it can answer subsequent readers directly.
+func (l *L1) onFwdGetS(m *Message) {
+	data, ok := l.lineOrEvictData(m.Addr)
+	if !ok {
+		// Lost the line entirely (should not happen under a blocking
+		// directory); fall back to letting the home's value stand.
+		data = m.Data
+	}
+	if line := l.arr.Peek(m.Addr); line != nil {
+		line.State = cache.Shared
+	}
+	l.send(&Message{Type: MsgData, Addr: m.Addr, Data: data, Requestor: m.Requestor, Peek: m.LockAddr}, m.Requestor, respPriority)
+	l.send(&Message{Type: MsgCopyBack, Addr: m.Addr, Data: data, Requestor: m.Requestor, ToDir: true}, l.homes.Home(m.Addr), respPriority)
+}
+
+// onLockProbe arbitrates a losing SWAP at the owner: if the swap would be
+// a no-op (the lock is occupied with the very value the loser is writing),
+// the owner downgrades to Shared, serves the loser a valid copy directly
+// and copies the value back to the home, which unblocks the line and
+// fast-fails subsequent losers itself; if the lock state changed, the
+// owner yields ownership and the requester completes like a plain GetX.
+func (l *L1) onLockProbe(m *Message) {
+	home := l.homes.Home(m.Addr)
+	data, ok := l.lineOrEvictData(m.Addr)
+	if ok && data == m.Operand {
+		l.Stats.ProbesServed++
+		if line := l.arr.Peek(m.Addr); line != nil {
+			line.State = cache.Shared
+		}
+		l.send(&Message{Type: MsgData, Addr: m.Addr, Data: data, Requestor: m.Requestor, Peek: true}, m.Requestor, respPriority)
+		l.send(&Message{Type: MsgCopyBack, Addr: m.Addr, Data: data, Requestor: m.Requestor, ToDir: true}, home, respPriority)
+		return
+	}
+	l.Stats.ProbesFailed++
+	if !ok {
+		data = m.Data
+	}
+	l.arr.Invalidate(m.Addr)
+	l.send(&Message{Type: MsgDataExcl, Addr: m.Addr, Data: data, Requestor: m.Requestor, Peek: m.LockAddr}, m.Requestor, respPriority)
+}
+
+// onFwdGetX yields ownership: send data+ownership to the requester and
+// drop the local copy.
+func (l *L1) onFwdGetX(m *Message) {
+	data, ok := l.lineOrEvictData(m.Addr)
+	if !ok {
+		data = m.Data
+	}
+	l.arr.Invalidate(m.Addr)
+	l.send(&Message{Type: MsgDataExcl, Addr: m.Addr, Data: data, Requestor: m.Requestor, Peek: m.LockAddr}, m.Requestor, respPriority)
+}
+
+// lineOrEvictData fetches the current value from the live line or the
+// writeback buffer.
+func (l *L1) lineOrEvictData(addr uint64) (uint64, bool) {
+	if line := l.arr.Peek(addr); line != nil {
+		return line.Data, true
+	}
+	if v, ok := l.evict[addr]; ok {
+		return v, true
+	}
+	return 0, false
+}

@@ -1,0 +1,118 @@
+// Package experiments regenerates every figure of the paper's evaluation
+// (Section 5): one runner per figure, each returning a typed result with a
+// paper-style textual rendering. cmd/inpgbench drives them from the
+// command line and the root benchmark suite exposes one testing.B
+// benchmark per figure.
+//
+// Runs are scaled-down slices of the ROI (see DESIGN.md): the per-thread
+// critical-section quota is profile.CSPerThread(threads, Scale), so the
+// full suite completes in minutes while preserving contention structure.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"inpg"
+	"inpg/internal/workload"
+)
+
+// Options tunes experiment size.
+type Options struct {
+	// Scale multiplies each program's ROI critical-section count
+	// (per-thread quota = TotalCS/threads × Scale, min 2).
+	Scale float64
+	// Seed drives all randomness.
+	Seed int64
+	// Seeds, when > 1, averages seed-sensitive sweeps (Figures 11/12/13)
+	// over that many seeds starting at Seed.
+	Seeds int
+	// Quick shrinks runs further for benchmarks and smoke tests.
+	Quick bool
+}
+
+// DefaultOptions returns the options used for the published EXPERIMENTS.md
+// numbers.
+func DefaultOptions() Options { return Options{Scale: 0.05, Seed: 42} }
+
+// quickScale reduces the CS quota under Quick mode.
+func (o Options) quickScale() float64 {
+	if o.Quick {
+		return o.Scale / 2
+	}
+	return o.Scale
+}
+
+// ConfigFor builds the simulation configuration for one program under one
+// mechanism and lock primitive on the default 8×8 platform.
+func ConfigFor(p workload.Profile, mech inpg.Mechanism, lk inpg.LockKind, o Options) inpg.Config {
+	cfg := inpg.DefaultConfig()
+	cfg.Mechanism = mech
+	cfg.Lock = lk
+	cfg.Seed = o.Seed
+	threads := cfg.MeshWidth * cfg.MeshHeight
+	cfg.CSPerThread = p.CSPerThread(threads, o.quickScale())
+	cfg.CSCycles = p.AvgCSCycles
+	cfg.CSJitter = p.AvgCSCycles / 3
+	cfg.ParallelCycles = p.ParallelCycles
+	cfg.ParallelJitter = p.ParallelCycles / 3
+	return cfg
+}
+
+// seedList expands Options into the seeds to average over.
+func (o Options) seedList() []int64 {
+	n := o.Seeds
+	if n < 1 {
+		n = 1
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = o.Seed + int64(i)*1009
+	}
+	return out
+}
+
+// Run executes one configuration.
+func Run(cfg inpg.Config) (*inpg.Results, error) {
+	sys, err := inpg.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return sys.Run()
+}
+
+// mustRatio returns num/den, guarding zero denominators.
+func mustRatio(num, den float64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// meanOf averages a slice.
+func meanOf(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+// maxOf returns the maximum of a slice (0 when empty).
+func maxOf(v []float64) float64 {
+	m := 0.0
+	for _, x := range v {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// header renders a section banner.
+func header(b *strings.Builder, title string) {
+	fmt.Fprintf(b, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+}

@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"inpg"
+	"inpg/internal/workload"
+)
+
+// SuiteRow holds one program's results across the four mechanisms.
+type SuiteRow struct {
+	Program string
+	Group   int
+	// Runtime and CSTime (COH+sleep+CSE) per mechanism, indexed like
+	// inpg.Mechanisms.
+	Runtime [4]uint64
+	CSTime  [4]uint64
+}
+
+// CSExpedition returns how much faster critical sections complete under
+// mechanism i relative to Original (Figure 11's y-axis).
+func (r SuiteRow) CSExpedition(i int) float64 {
+	return mustRatio(float64(r.CSTime[0]), float64(r.CSTime[i]))
+}
+
+// ROIPercent returns mechanism i's ROI finish time normalized to Original
+// (Figure 12's y-axis, as a percentage).
+func (r SuiteRow) ROIPercent(i int) float64 {
+	return 100 * mustRatio(float64(r.Runtime[i]), float64(r.Runtime[0]))
+}
+
+// SuiteResult is the shared output of the full 24-program × 4-mechanism
+// sweep that Figures 11 and 12 are read from.
+type SuiteResult struct {
+	Rows []SuiteRow
+}
+
+// RunSuite executes all 24 programs under the four comparative cases with
+// the default queue spin-lock, averaging over Options.Seeds seeds.
+func RunSuite(o Options) (*SuiteResult, error) {
+	seeds := o.seedList()
+	out := &SuiteResult{}
+	for _, p := range workload.Profiles() {
+		row := SuiteRow{Program: p.ShortName, Group: p.Group}
+		for i, mech := range inpg.Mechanisms {
+			var rtSum, csSum uint64
+			for _, seed := range seeds {
+				so := o
+				so.Seed = seed
+				res, err := Run(ConfigFor(p, mech, inpg.LockQSL, so))
+				if err != nil {
+					return nil, fmt.Errorf("suite %s/%s: %w", p.ShortName, mech, err)
+				}
+				rtSum += res.Runtime
+				csSum += res.CSTime()
+			}
+			row.Runtime[i] = rtSum / uint64(len(seeds))
+			row.CSTime[i] = csSum / uint64(len(seeds))
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// GroupMeanExpedition averages CS expedition over one group (0 = all).
+func (s *SuiteResult) GroupMeanExpedition(group, mech int) float64 {
+	var v []float64
+	for _, r := range s.Rows {
+		if group == 0 || r.Group == group {
+			v = append(v, r.CSExpedition(mech))
+		}
+	}
+	return meanOf(v)
+}
+
+// GroupMeanROI averages the normalized ROI finish time over one group.
+func (s *SuiteResult) GroupMeanROI(group, mech int) float64 {
+	var v []float64
+	for _, r := range s.Rows {
+		if group == 0 || r.Group == group {
+			v = append(v, r.ROIPercent(mech))
+		}
+	}
+	return meanOf(v)
+}
+
+// MaxExpedition returns the best per-program CS expedition for a mechanism
+// and the program achieving it.
+func (s *SuiteResult) MaxExpedition(mech int) (float64, string) {
+	best, name := 0.0, ""
+	for _, r := range s.Rows {
+		if e := r.CSExpedition(mech); e > best {
+			best, name = e, r.Program
+		}
+	}
+	return best, name
+}
+
+// INPGOverOCOR returns iNPG's mean and max CS-access speedup over OCOR
+// (the paper's headline 1.35× average / 2.03× maximum).
+func (s *SuiteResult) INPGOverOCOR() (mean, max float64, maxProg string) {
+	var v []float64
+	for _, r := range s.Rows {
+		sp := mustRatio(float64(r.CSTime[1]), float64(r.CSTime[2]))
+		v = append(v, sp)
+		if sp > max {
+			max, maxProg = sp, r.Program
+		}
+	}
+	return meanOf(v), max, maxProg
+}
+
+// RenderFig11 prints the CS expedition table.
+func (s *SuiteResult) RenderFig11() string {
+	var b strings.Builder
+	header(&b, "Figure 11: critical section expedition (relative to Original)")
+	fmt.Fprintf(&b, "%-9s %5s %9s %9s %9s %9s\n", "program", "group", "Original", "OCOR", "iNPG", "iNPG+OCOR")
+	for _, r := range s.Rows {
+		fmt.Fprintf(&b, "%-9s %5d %8.2fx %8.2fx %8.2fx %8.2fx\n",
+			r.Program, r.Group, 1.0, r.CSExpedition(1), r.CSExpedition(2), r.CSExpedition(3))
+	}
+	for g := 1; g <= 3; g++ {
+		fmt.Fprintf(&b, "group %d mean       %8.2fx %8.2fx %8.2fx\n",
+			g, s.GroupMeanExpedition(g, 1), s.GroupMeanExpedition(g, 2), s.GroupMeanExpedition(g, 3))
+	}
+	fmt.Fprintf(&b, "overall mean       %8.2fx %8.2fx %8.2fx\n",
+		s.GroupMeanExpedition(0, 1), s.GroupMeanExpedition(0, 2), s.GroupMeanExpedition(0, 3))
+	m, mx, prog := s.INPGOverOCOR()
+	fmt.Fprintf(&b, "iNPG over OCOR: %.2fx mean, %.2fx max (%s)\n", m, mx, prog)
+	return b.String()
+}
+
+// RenderFig12 prints the ROI finish-time table.
+func (s *SuiteResult) RenderFig12() string {
+	var b strings.Builder
+	header(&b, "Figure 12: application ROI finish time (normalized to Original)")
+	fmt.Fprintf(&b, "%-9s %5s %9s %9s %9s %9s\n", "program", "group", "Original", "OCOR", "iNPG", "iNPG+OCOR")
+	for _, r := range s.Rows {
+		fmt.Fprintf(&b, "%-9s %5d %8.1f%% %8.1f%% %8.1f%% %8.1f%%\n",
+			r.Program, r.Group, 100.0, r.ROIPercent(1), r.ROIPercent(2), r.ROIPercent(3))
+	}
+	for g := 1; g <= 3; g++ {
+		fmt.Fprintf(&b, "group %d mean       %8.1f%% %8.1f%% %8.1f%%\n",
+			g, s.GroupMeanROI(g, 1), s.GroupMeanROI(g, 2), s.GroupMeanROI(g, 3))
+	}
+	fmt.Fprintf(&b, "overall mean       %8.1f%% %8.1f%% %8.1f%%\n",
+		s.GroupMeanROI(0, 1), s.GroupMeanROI(0, 2), s.GroupMeanROI(0, 3))
+	return b.String()
+}

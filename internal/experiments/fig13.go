@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"inpg"
+	"inpg/internal/workload"
+)
+
+// Fig13Row is one program's iNPG ROI reduction per locking primitive.
+type Fig13Row struct {
+	Program string
+	// ReductionPct[lockIdx] = 100 × (1 − runtime_iNPG/runtime_Original).
+	ReductionPct []float64
+}
+
+// Fig13Result sweeps iNPG's effectiveness across the five primitives.
+type Fig13Result struct {
+	Locks []inpg.LockKind
+	Rows  []Fig13Row
+	// MeanReductionPct[lockIdx] averages over programs.
+	MeanReductionPct []float64
+}
+
+// Fig13Programs selects the evaluated programs. The full paper figure runs
+// all 24; by default a representative subset of each group keeps the
+// 5-primitive × 2-mechanism sweep tractable, and Full24 enables the rest.
+var Fig13Programs = []string{"x264", "vips", "can", "dedup", "stream", "imag", "freq", "kdtree", "nab"}
+
+// Fig13 reproduces Figure 13: application ROI finish-time reduction
+// achieved by iNPG under TAS, TTL, ABQL, MCS and QSL.
+func Fig13(o Options, full24 bool) (*Fig13Result, error) {
+	r := &Fig13Result{Locks: inpg.LockKinds}
+	var profiles []workload.Profile
+	if full24 {
+		profiles = workload.Profiles()
+	} else {
+		for _, name := range Fig13Programs {
+			p, err := workload.ByName(name)
+			if err != nil {
+				return nil, err
+			}
+			profiles = append(profiles, p)
+		}
+	}
+	sums := make([]float64, len(inpg.LockKinds))
+	for _, p := range profiles {
+		row := Fig13Row{Program: p.ShortName}
+		for li, lk := range inpg.LockKinds {
+			orig, err := Run(ConfigFor(p, inpg.Original, lk, o))
+			if err != nil {
+				return nil, fmt.Errorf("fig13 %s/%s: %w", p.ShortName, lk, err)
+			}
+			with, err := Run(ConfigFor(p, inpg.INPG, lk, o))
+			if err != nil {
+				return nil, fmt.Errorf("fig13 %s/%s: %w", p.ShortName, lk, err)
+			}
+			red := 100 * (1 - mustRatio(float64(with.Runtime), float64(orig.Runtime)))
+			row.ReductionPct = append(row.ReductionPct, red)
+			sums[li] += red
+		}
+		r.Rows = append(r.Rows, row)
+	}
+	for _, s := range sums {
+		r.MeanReductionPct = append(r.MeanReductionPct, s/float64(len(profiles)))
+	}
+	return r, nil
+}
+
+// Render prints the per-primitive reduction table.
+func (r *Fig13Result) Render() string {
+	var b strings.Builder
+	header(&b, "Figure 13: ROI finish-time reduction by iNPG per locking primitive")
+	fmt.Fprintf(&b, "%-9s", "program")
+	for _, lk := range r.Locks {
+		fmt.Fprintf(&b, "%9s", lk)
+	}
+	b.WriteByte('\n')
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-9s", row.Program)
+		for _, v := range row.ReductionPct {
+			fmt.Fprintf(&b, "%8.1f%%", v)
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%-9s", "mean")
+	for _, v := range r.MeanReductionPct {
+		fmt.Fprintf(&b, "%8.1f%%", v)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

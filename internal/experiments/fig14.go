@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"inpg"
+	"inpg/internal/workload"
+)
+
+// Fig14Deployments are the big-router counts swept (0 = Original).
+var Fig14Deployments = []int{0, 4, 16, 32, 64}
+
+// Fig14Row is one program's CS expedition per deployment.
+type Fig14Row struct {
+	Program string
+	// Expedition[i] = CSTime(0 big routers)/CSTime(deployment i).
+	Expedition []float64
+}
+
+// Fig14Result is the big-router deployment sensitivity study.
+type Fig14Result struct {
+	Deployments []int
+	Rows        []Fig14Row
+	Mean        []float64
+}
+
+// Fig14Programs picks one representative per Figure 8b group.
+var Fig14Programs = []string{"can", "freq", "nab"}
+
+// Fig14 reproduces Figure 14: critical-section expedition as the number of
+// evenly distributed big routers grows from 0 to 64. The paper's
+// observation — gains rise with deployment but flatten beyond 32 routers —
+// follows from every competing request crossing a big router within a hop
+// or two once half the routers are big.
+func Fig14(o Options) (*Fig14Result, error) {
+	r := &Fig14Result{Deployments: Fig14Deployments}
+	sums := make([]float64, len(Fig14Deployments))
+	for _, name := range Fig14Programs {
+		p, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig14Row{Program: p.ShortName}
+		var base float64
+		for i, n := range Fig14Deployments {
+			mech := inpg.INPG
+			if n == 0 {
+				mech = inpg.Original
+			}
+			cfg := ConfigFor(p, mech, inpg.LockQSL, o)
+			cfg.BigRouters = n
+			res, err := Run(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("fig14 %s/%d: %w", name, n, err)
+			}
+			cs := float64(res.CSTime())
+			if i == 0 {
+				base = cs
+			}
+			e := mustRatio(base, cs)
+			row.Expedition = append(row.Expedition, e)
+			sums[i] += e
+		}
+		r.Rows = append(r.Rows, row)
+	}
+	for _, s := range sums {
+		r.Mean = append(r.Mean, s/float64(len(Fig14Programs)))
+	}
+	return r, nil
+}
+
+// Render prints the deployment sweep.
+func (r *Fig14Result) Render() string {
+	var b strings.Builder
+	header(&b, "Figure 14: CS expedition vs big-router deployment")
+	fmt.Fprintf(&b, "%-9s", "program")
+	for _, n := range r.Deployments {
+		fmt.Fprintf(&b, "%7dBR", n)
+	}
+	b.WriteByte('\n')
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-9s", row.Program)
+		for _, v := range row.Expedition {
+			fmt.Fprintf(&b, "%8.2fx", v)
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%-9s", "mean")
+	for _, v := range r.Mean {
+		fmt.Fprintf(&b, "%8.2fx", v)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

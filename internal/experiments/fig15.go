@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"inpg"
+	"inpg/internal/workload"
+)
+
+// Fig15Dims are the mesh dimensions swept.
+var Fig15Dims = []int{2, 4, 8, 16}
+
+// Fig15Tables are the locking-barrier-table sizes swept (lock barriers and
+// EI entries per big router).
+var Fig15Tables = []int{4, 16, 64}
+
+// Fig15Result is the NoC-dimension × barrier-table-size sensitivity study:
+// ReductionPct[dimIdx][tableIdx] is the mean ROI finish-time reduction of
+// iNPG over Original.
+type Fig15Result struct {
+	Dims       []int
+	Tables     []int
+	Reduction  [][]float64
+	Programs   []string
+	TotalRuns  int
+	QuickScale float64
+}
+
+// Fig15Programs keeps the 16×16 (256-core) runs tractable.
+var Fig15Programs = []string{"freq", "kdtree"}
+
+// Fig15 reproduces Figure 15: iNPG's ROI reduction as the mesh grows from
+// 2×2 to 16×16 and as the locking barrier table is sized 4/16/64. Larger
+// meshes put more threads farther from the home, so in-network early
+// invalidation saves more; tiny barrier tables throttle big routers once
+// enough locks/threads contend.
+func Fig15(o Options) (*Fig15Result, error) {
+	r := &Fig15Result{Dims: Fig15Dims, Tables: Fig15Tables, Programs: Fig15Programs}
+	for _, dim := range Fig15Dims {
+		var row []float64
+		for _, tbl := range Fig15Tables {
+			var reductions []float64
+			for _, name := range Fig15Programs {
+				p, err := workload.ByName(name)
+				if err != nil {
+					return nil, err
+				}
+				mk := func(mech inpg.Mechanism) (inpg.Config, int) {
+					cfg := ConfigFor(p, mech, inpg.LockQSL, o)
+					cfg.MeshWidth, cfg.MeshHeight = dim, dim
+					threads := dim * dim
+					scale := o.quickScale()
+					if threads > 64 {
+						scale /= 4 // keep 256-core runs tractable
+					}
+					cfg.CSPerThread = p.CSPerThread(threads, scale)
+					cfg.BarrierEntries = tbl
+					// Several concurrent hot locks are what makes the
+					// barrier-table capacity bind: with one lock even a
+					// 4-entry table never fills.
+					cfg.LockCount = 8
+					return cfg, threads
+				}
+				origCfg, _ := mk(inpg.Original)
+				orig, err := Run(origCfg)
+				if err != nil {
+					return nil, fmt.Errorf("fig15 %s %dx%d: %w", name, dim, dim, err)
+				}
+				withCfg, _ := mk(inpg.INPG)
+				with, err := Run(withCfg)
+				if err != nil {
+					return nil, fmt.Errorf("fig15 %s %dx%d inpg: %w", name, dim, dim, err)
+				}
+				reductions = append(reductions,
+					100*(1-mustRatio(float64(with.Runtime), float64(orig.Runtime))))
+				r.TotalRuns += 2
+			}
+			row = append(row, meanOf(reductions))
+		}
+		r.Reduction = append(r.Reduction, row)
+	}
+	return r, nil
+}
+
+// Render prints the sensitivity matrix.
+func (r *Fig15Result) Render() string {
+	var b strings.Builder
+	header(&b, "Figure 15: iNPG ROI reduction vs NoC dimension and barrier-table size")
+	fmt.Fprintf(&b, "%-8s", "mesh")
+	for _, t := range r.Tables {
+		fmt.Fprintf(&b, "%7d-entry", t)
+	}
+	b.WriteByte('\n')
+	for i, d := range r.Dims {
+		fmt.Fprintf(&b, "%dx%-6d", d, d)
+		for _, v := range r.Reduction[i] {
+			fmt.Fprintf(&b, "%11.1f%%", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"inpg"
+	"inpg/internal/workload"
+)
+
+// Fig2Programs are the three motivational benchmarks of Figure 2.
+var Fig2Programs = []string{"kdtree", "facesim", "fluidanimate"}
+
+// Fig2Result holds the percentage of lock coherence overhead (LCO) in
+// application running time per program and locking primitive.
+type Fig2Result struct {
+	Programs []string
+	Locks    []inpg.LockKind
+	// LCOPercent[programIdx][lockIdx]
+	LCOPercent [][]float64
+}
+
+// Fig2 reproduces Figure 2: %LCO of application running time under the
+// five locking primitives for kdtree, facesim and fluidanimate.
+func Fig2(o Options) (*Fig2Result, error) {
+	r := &Fig2Result{Programs: Fig2Programs, Locks: inpg.LockKinds}
+	for _, name := range Fig2Programs {
+		p, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		row := make([]float64, 0, len(inpg.LockKinds))
+		for _, lk := range inpg.LockKinds {
+			res, err := Run(ConfigFor(p, inpg.Original, lk, o))
+			if err != nil {
+				return nil, fmt.Errorf("fig2 %s/%s: %w", name, lk, err)
+			}
+			row = append(row, res.LCOPercent)
+		}
+		r.LCOPercent = append(r.LCOPercent, row)
+	}
+	return r, nil
+}
+
+// Render prints the Figure 2 table.
+func (r *Fig2Result) Render() string {
+	var b strings.Builder
+	header(&b, "Figure 2: percentage of LCO in application running time")
+	fmt.Fprintf(&b, "%-14s", "program")
+	for _, lk := range r.Locks {
+		fmt.Fprintf(&b, "%8s", lk)
+	}
+	b.WriteByte('\n')
+	for i, p := range r.Programs {
+		fmt.Fprintf(&b, "%-14s", p)
+		for _, v := range r.LCOPercent[i] {
+			fmt.Fprintf(&b, "%7.1f%%", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

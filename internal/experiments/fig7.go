@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"strings"
+
+	"inpg/internal/chipmodel"
+)
+
+// Fig7Result carries the chip model summary.
+type Fig7Result struct {
+	NormalGatesK, BigGatesK float64
+	PacketGenGatesK         float64
+	PacketGenOverhead       float64 // fraction of normal-router power
+	BigTileMW, NormalTileMW float64
+	Rendered                string
+}
+
+// Fig7 regenerates the synthesis/floorplan summary of Figure 7 from the
+// analytical chip model (see DESIGN.md for the EDA-flow substitution).
+func Fig7() *Fig7Result {
+	return &Fig7Result{
+		NormalGatesK:      chipmodel.NormalRouter.GateCountK,
+		BigGatesK:         chipmodel.BigRouter.GateCountK,
+		PacketGenGatesK:   chipmodel.PacketGenGatesK,
+		PacketGenOverhead: chipmodel.PacketGenPowerOverhead(),
+		BigTileMW:         chipmodel.TilePowerMW(true),
+		NormalTileMW:      chipmodel.TilePowerMW(false),
+		Rendered:          chipmodel.RenderFigure7(64, 32),
+	}
+}
+
+// Render prints the Figure 7 summary.
+func (r *Fig7Result) Render() string {
+	var b strings.Builder
+	header(&b, "Figure 7: router synthesis and chip floorplan (analytical model)")
+	b.WriteString(r.Rendered)
+	return b.String()
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"inpg"
+	"inpg/internal/workload"
+)
+
+// Fig8Row characterizes one program's critical sections.
+type Fig8Row struct {
+	Program     string
+	Suite       string
+	Group       int
+	TotalCS     int // ROI CS accesses (profile)
+	AvgCSCycles int // profile
+	// Measured on the scaled run under Original/QSL:
+	MeasuredCOH uint64 // competition overhead cycles
+	MeasuredCSE uint64 // critical-section execution cycles
+}
+
+// COHShare returns COH/(COH+CSE).
+func (r Fig8Row) COHShare() float64 {
+	t := r.MeasuredCOH + r.MeasuredCSE
+	if t == 0 {
+		return 0
+	}
+	return float64(r.MeasuredCOH) / float64(t)
+}
+
+// Fig8Result is the full benchmark characterization.
+type Fig8Result struct {
+	Rows []Fig8Row
+}
+
+// Fig8 reproduces Figure 8: per-program CS access counts and average CS
+// length (8a), and the breakdown of total CS time into competition
+// overhead and CS execution (8b) with the three total-CS-time groups.
+func Fig8(o Options) (*Fig8Result, error) {
+	r := &Fig8Result{}
+	for _, p := range workload.Profiles() {
+		res, err := Run(ConfigFor(p, inpg.Original, inpg.LockQSL, o))
+		if err != nil {
+			return nil, fmt.Errorf("fig8 %s: %w", p.ShortName, err)
+		}
+		r.Rows = append(r.Rows, Fig8Row{
+			Program:     p.ShortName,
+			Suite:       p.Suite,
+			Group:       p.Group,
+			TotalCS:     p.TotalCS,
+			AvgCSCycles: p.AvgCSCycles,
+			MeasuredCOH: res.COHTotal(),
+			MeasuredCSE: res.CSE,
+		})
+	}
+	return r, nil
+}
+
+// Render prints Figure 8a/8b as one table, ordered by total CS time.
+func (r *Fig8Result) Render() string {
+	var b strings.Builder
+	header(&b, "Figure 8: benchmark CS characteristics (ordered by total CS time)")
+	fmt.Fprintf(&b, "%-9s %-8s %5s %9s %9s %11s %12s %12s %6s\n",
+		"program", "suite", "group", "CS total", "cyc/CS", "CS time", "COH cyc", "CSE cyc", "COH%")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-9s %-8s %5d %9d %9d %11d %12d %12d %5.1f%%\n",
+			row.Program, row.Suite, row.Group, row.TotalCS, row.AvgCSCycles,
+			row.TotalCS*row.AvgCSCycles, row.MeasuredCOH, row.MeasuredCSE, 100*row.COHShare())
+	}
+	return b.String()
+}

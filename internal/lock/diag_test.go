@@ -1,0 +1,40 @@
+package lock
+
+import (
+	"fmt"
+	"testing"
+
+	"inpg/internal/sim"
+)
+
+func TestDiagTAS(t *testing.T) {
+	r := newRig(t, TAS, 8, 4, false)
+	for _, th := range r.threads {
+		th.Start()
+	}
+	for i := 0; i < 10; i++ {
+		r.eng.Run(sim.Cycle(20000), func() bool { return false })
+		cs := 0
+		for _, th := range r.threads {
+			cs += th.CSCompleted
+		}
+		var txOpen, queued uint64
+		for _, d := range r.fab.Dirs {
+			txOpen += d.Stats.TxnStarted - d.Stats.TxnEnded
+			queued += d.Stats.QueuedRequests
+		}
+		fmt.Printf("cyc=%d cs=%d inflight=%d txOpen=%d queued=%d\n", r.eng.Now(), cs, r.fab.Net.InFlight(), txOpen, queued)
+	}
+	// Dump directory line state for the lock address (home 5, block 0).
+	addr := r.fab.Homes.AddrForHome(5, 0)
+	v, owner, sharers, busy := r.fab.Dirs[5].LineInfo(addr)
+	fmt.Printf("lock line: val=%d owner=%d sharers=%v busy=%v\n", v, owner, sharers, busy)
+	for _, th := range r.threads {
+		fmt.Printf("thread %d phase=%v cs=%d\n", th.ID, th.Phase(), th.CSCompleted)
+	}
+	for id, l1 := range r.fab.L1s[:8] {
+		if ln := l1.Cache().Peek(addr); ln != nil {
+			fmt.Printf("L1 %d: %v val=%d\n", id, ln.State, ln.Data)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package lock
+
+import (
+	"inpg/internal/coherence"
+	"inpg/internal/cpu"
+	"inpg/internal/noc"
+)
+
+// mcs is the Mellor-Crummey & Scott queue lock: each thread has its own
+// queue node (a locked flag line and a next-pointer line), a global tail
+// pointer is updated by atomic swap/compare-and-swap, and each waiter
+// spins only on its own locked flag — eliminating the cache-line bouncing
+// of the global-word locks. Node IDs are encoded as id+1 so 0 means nil.
+type mcs struct {
+	tail   uint64
+	locked []uint64
+	next   []uint64
+	cfg    Config
+}
+
+func newMCS(alloc *AddrAlloc, home noc.NodeID, cfg Config) *mcs {
+	l := &mcs{tail: alloc.BlockAt(home), cfg: cfg}
+	for i := 0; i < cfg.Threads; i++ {
+		l.locked = append(l.locked, alloc.Block())
+		l.next = append(l.next, alloc.Block())
+	}
+	return l
+}
+
+// Name implements cpu.Lock.
+func (l *mcs) Name() string { return "MCS" }
+
+// Acquire implements cpu.Lock.
+func (l *mcs) Acquire(t *cpu.Thread, done func()) {
+	me := uint64(t.ID + 1)
+	// Reset the queue node: no successor, flag armed — the flag must be
+	// armed before the predecessor can link to us.
+	t.Port.Store(l.next[t.ID], 0, true, t.LockPrio(), func() {
+		t.Port.Store(l.locked[t.ID], 1, true, t.LockPrio(), func() {
+			t.Port.Atomic(l.tail, coherence.Swap, me, 0, t.LockPrio(), func(pred uint64) {
+				if pred == 0 {
+					done() // queue was empty: lock acquired
+					return
+				}
+				// Link behind the predecessor, then spin locally.
+				t.Port.Store(l.next[pred-1], me, true, t.LockPrio(), func() {
+					var poll func()
+					poll = func() {
+						t.Port.Load(l.locked[t.ID], true, t.LockPrio(), func(v uint64) {
+							if v == 0 {
+								done()
+								return
+							}
+							spinAgain(t, l.cfg, poll)
+						})
+					}
+					poll()
+				})
+			})
+		})
+	})
+}
+
+// Release implements cpu.Lock.
+func (l *mcs) Release(t *cpu.Thread, done func()) {
+	me := uint64(t.ID + 1)
+	t.Port.Load(l.next[t.ID], true, releasePrio(t), func(succ uint64) {
+		if succ != 0 {
+			t.Port.StoreRelease(l.locked[succ-1], 0, true, releasePrio(t), done)
+			return
+		}
+		// No visible successor: try to close the queue.
+		t.Port.Atomic(l.tail, coherence.CompareSwap, me, 0, releasePrio(t), func(old uint64) {
+			if old == me {
+				done() // queue closed
+				return
+			}
+			// A successor is mid-link: wait for the pointer to appear.
+			var poll func()
+			poll = func() {
+				t.Port.Load(l.next[t.ID], true, releasePrio(t), func(s uint64) {
+					if s == 0 {
+						t.Eng().Schedule(l.cfg.SpinInterval, poll)
+						return
+					}
+					t.Port.StoreRelease(l.locked[s-1], 0, true, releasePrio(t), done)
+				})
+			}
+			poll()
+		})
+	})
+}

@@ -1,0 +1,150 @@
+// Package memory models the off-chip DRAM and the eight on-chip memory
+// controllers of the target architecture. Controllers sit at the middle
+// nodes of the top and bottom mesh rows (Figure 3); addresses interleave
+// across them at block granularity.
+//
+// Each controller applies a fixed DRAM access latency and bounds the number
+// of outstanding requests (Table 1: up to 16); excess requests queue. The
+// directory at a block's home node is the only client, and after the first
+// fetch the home's copy is authoritative — DRAM contents are not written
+// back, which is safe because every subsequent access is serviced by the
+// home (documented substitution in DESIGN.md).
+package memory
+
+import (
+	"fmt"
+
+	"inpg/internal/noc"
+	"inpg/internal/sim"
+)
+
+// Config describes the DRAM subsystem.
+type Config struct {
+	Controllers    int       // number of memory controllers
+	Latency        sim.Cycle // fixed access latency per request
+	MaxOutstanding int       // per-controller in-service cap
+}
+
+// DefaultConfig returns the paper's Table 1 memory system: 8 controllers,
+// 16 outstanding requests each. The 100-cycle latency folds the average
+// home↔controller NoC traversal into the DRAM access time.
+func DefaultConfig() Config {
+	return Config{Controllers: 8, Latency: 100, MaxOutstanding: 16}
+}
+
+// request is one queued DRAM access.
+type request struct {
+	addr uint64
+	done func(uint64)
+}
+
+// Controller is one memory controller: a latency pipe with bounded
+// concurrency over a zero-initialized backing store.
+type Controller struct {
+	ID        int
+	eng       *sim.Engine
+	cfg       Config
+	store     map[uint64]uint64
+	inService int
+	queue     []request
+
+	Reads       uint64
+	QueuedPeak  int
+	BusyCycles  uint64
+	lastService sim.Cycle
+}
+
+// NewController builds one controller.
+func NewController(eng *sim.Engine, id int, cfg Config) *Controller {
+	return &Controller{ID: id, eng: eng, cfg: cfg, store: make(map[uint64]uint64)}
+}
+
+// Read fetches the value at addr, invoking done after the DRAM latency
+// (plus any queueing delay when MaxOutstanding requests are in service).
+func (c *Controller) Read(addr uint64, done func(uint64)) {
+	c.Reads++
+	if c.inService >= c.cfg.MaxOutstanding {
+		c.queue = append(c.queue, request{addr, done})
+		if len(c.queue) > c.QueuedPeak {
+			c.QueuedPeak = len(c.queue)
+		}
+		return
+	}
+	c.start(request{addr, done})
+}
+
+// start launches one access.
+func (c *Controller) start(r request) {
+	c.inService++
+	c.eng.Schedule(c.cfg.Latency, func() {
+		c.inService--
+		v := c.store[r.addr]
+		r.done(v)
+		if len(c.queue) > 0 {
+			next := c.queue[0]
+			c.queue = c.queue[1:]
+			c.start(next)
+		}
+	})
+}
+
+// Preload sets the backing value for addr (workload initialization).
+func (c *Controller) Preload(addr, val uint64) { c.store[addr] = val }
+
+// System is the set of controllers with the address interleaving and the
+// physical placement used by the chip model.
+type System struct {
+	cfg         Config
+	controllers []*Controller
+	blockBytes  int
+}
+
+// NewSystem builds cfg.Controllers controllers.
+func NewSystem(eng *sim.Engine, cfg Config, blockBytes int) (*System, error) {
+	if cfg.Controllers <= 0 || cfg.MaxOutstanding <= 0 || blockBytes <= 0 {
+		return nil, fmt.Errorf("memory: invalid config %+v", cfg)
+	}
+	s := &System{cfg: cfg, blockBytes: blockBytes}
+	for i := 0; i < cfg.Controllers; i++ {
+		s.controllers = append(s.controllers, NewController(eng, i, cfg))
+	}
+	return s, nil
+}
+
+// ControllerFor returns the controller owning addr.
+func (s *System) ControllerFor(addr uint64) *Controller {
+	return s.controllers[(addr/uint64(s.blockBytes))%uint64(len(s.controllers))]
+}
+
+// Read implements coherence.Memory over the interleaved controllers.
+func (s *System) Read(addr uint64, done func(uint64)) {
+	s.ControllerFor(addr).Read(addr, done)
+}
+
+// Controllers exposes the controller list for statistics.
+func (s *System) Controllers() []*Controller { return s.controllers }
+
+// Preload sets the backing value of addr before first use (lock and
+// workload initialization).
+func (s *System) Preload(addr, val uint64) { s.ControllerFor(addr).Preload(addr, val) }
+
+// Placement returns the mesh nodes hosting the controllers for an W×H
+// mesh: symmetrically on the middle of the top and bottom rows, as in
+// Figure 3 (SCORPIO/KNL-style layout).
+func Placement(m noc.Mesh, controllers int) []noc.NodeID {
+	nodes := make([]noc.NodeID, 0, controllers)
+	half := controllers / 2
+	if half == 0 {
+		half = 1
+	}
+	start := (m.Width - half) / 2
+	for i := 0; i < half && len(nodes) < controllers; i++ {
+		x := (start + i) % m.Width
+		nodes = append(nodes, m.ID(x, 0))
+	}
+	for i := 0; i < controllers-half; i++ {
+		x := (start + i) % m.Width
+		nodes = append(nodes, m.ID(x, m.Height-1))
+	}
+	return nodes
+}

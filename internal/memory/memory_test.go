@@ -1,0 +1,125 @@
+package memory
+
+import (
+	"testing"
+
+	"inpg/internal/noc"
+	"inpg/internal/sim"
+)
+
+func TestReadLatency(t *testing.T) {
+	eng := sim.NewEngine(1)
+	c := NewController(eng, 0, Config{Controllers: 1, Latency: 50, MaxOutstanding: 4})
+	var at sim.Cycle
+	c.Read(0x100, func(v uint64) { at = eng.Now() })
+	for i := 0; i < 100; i++ {
+		eng.Step()
+	}
+	if at != 51 {
+		t.Fatalf("completed at %d, want 51 (50-cycle latency)", at)
+	}
+}
+
+func TestPreloadValue(t *testing.T) {
+	eng := sim.NewEngine(1)
+	c := NewController(eng, 0, Config{Controllers: 1, Latency: 10, MaxOutstanding: 4})
+	c.Preload(0x40, 99)
+	var got uint64
+	c.Read(0x40, func(v uint64) { got = v })
+	c.Read(0x80, func(v uint64) { got += v }) // unknown address reads 0
+	for i := 0; i < 50; i++ {
+		eng.Step()
+	}
+	if got != 99 {
+		t.Fatalf("value = %d, want 99", got)
+	}
+}
+
+func TestOutstandingCapQueues(t *testing.T) {
+	eng := sim.NewEngine(1)
+	c := NewController(eng, 0, Config{Controllers: 1, Latency: 20, MaxOutstanding: 2})
+	var done []sim.Cycle
+	for i := 0; i < 4; i++ {
+		c.Read(uint64(i*128), func(uint64) { done = append(done, eng.Now()) })
+	}
+	for i := 0; i < 200; i++ {
+		eng.Step()
+	}
+	if len(done) != 4 {
+		t.Fatalf("completed %d, want 4", len(done))
+	}
+	// First two at ~21, the queued two one latency later.
+	if done[2] < done[0]+20 {
+		t.Fatalf("third request completed at %d, expected a queueing delay after %d", done[2], done[0])
+	}
+	if c.QueuedPeak != 2 {
+		t.Fatalf("queued peak = %d, want 2", c.QueuedPeak)
+	}
+}
+
+func TestSystemInterleaving(t *testing.T) {
+	eng := sim.NewEngine(1)
+	s, err := NewSystem(eng, Config{Controllers: 4, Latency: 10, MaxOutstanding: 4}, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for blk := 0; blk < 8; blk++ {
+		c := s.ControllerFor(uint64(blk * 128))
+		seen[c.ID] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("blocks hit %d controllers, want 4", len(seen))
+	}
+	// Same block always maps to the same controller.
+	if s.ControllerFor(0) != s.ControllerFor(64) {
+		t.Fatal("addresses within one block split across controllers")
+	}
+}
+
+func TestSystemPreloadRouting(t *testing.T) {
+	eng := sim.NewEngine(1)
+	s, _ := NewSystem(eng, Config{Controllers: 4, Latency: 5, MaxOutstanding: 4}, 128)
+	s.Preload(3*128, 7)
+	var got uint64
+	s.Read(3*128, func(v uint64) { got = v })
+	for i := 0; i < 20; i++ {
+		eng.Step()
+	}
+	if got != 7 {
+		t.Fatalf("preload through system failed: got %d", got)
+	}
+}
+
+func TestRejectBadConfig(t *testing.T) {
+	eng := sim.NewEngine(1)
+	if _, err := NewSystem(eng, Config{Controllers: 0, Latency: 1, MaxOutstanding: 1}, 128); err == nil {
+		t.Fatal("zero controllers accepted")
+	}
+	if _, err := NewSystem(eng, Config{Controllers: 2, Latency: 1, MaxOutstanding: 0}, 128); err == nil {
+		t.Fatal("zero outstanding accepted")
+	}
+}
+
+func TestPlacementTopBottom(t *testing.T) {
+	m := noc.Mesh{Width: 8, Height: 8}
+	nodes := Placement(m, 8)
+	if len(nodes) != 8 {
+		t.Fatalf("placed %d, want 8", len(nodes))
+	}
+	top, bottom := 0, 0
+	for _, id := range nodes {
+		_, y := m.Coord(id)
+		switch y {
+		case 0:
+			top++
+		case 7:
+			bottom++
+		default:
+			t.Fatalf("controller at row %d, want top or bottom row", y)
+		}
+	}
+	if top != 4 || bottom != 4 {
+		t.Fatalf("split %d/%d, want 4/4", top, bottom)
+	}
+}

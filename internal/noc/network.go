@@ -1,0 +1,122 @@
+package noc
+
+import (
+	"fmt"
+
+	"inpg/internal/sim"
+)
+
+// Config holds the network parameters (Table 1 defaults are set by
+// DefaultConfig).
+type Config struct {
+	Mesh       Mesh
+	VCsPerPort int // must be a multiple of NumVNets
+	VCDepth    int // flits per VC buffer
+	// PriorityArb enables OCOR priority-based VC/switch arbitration on all
+	// routers.
+	PriorityArb bool
+}
+
+// DefaultConfig returns the paper's Table 1 network configuration for an
+// 8×8 mesh: 6 VCs per port, 4-flit VC buffers.
+func DefaultConfig() Config {
+	return Config{Mesh: Mesh{Width: 8, Height: 8}, VCsPerPort: 6, VCDepth: 4}
+}
+
+// Network is the full mesh: routers, links and network interfaces, driven
+// by the simulation engine.
+type Network struct {
+	cfg     Config
+	mesh    Mesh
+	eng     *sim.Engine
+	routers []*Router
+	nis     []*NI
+	pktID   uint64
+}
+
+// New builds and wires a mesh network and registers it with the engine.
+func New(eng *sim.Engine, cfg Config) (*Network, error) {
+	if cfg.VCsPerPort%int(NumVNets) != 0 || cfg.VCsPerPort <= 0 {
+		return nil, fmt.Errorf("noc: VCsPerPort=%d must be a positive multiple of %d", cfg.VCsPerPort, NumVNets)
+	}
+	if cfg.VCDepth <= 0 {
+		return nil, fmt.Errorf("noc: VCDepth=%d must be positive", cfg.VCDepth)
+	}
+	if cfg.Mesh.Width <= 0 || cfg.Mesh.Height <= 0 {
+		return nil, fmt.Errorf("noc: invalid mesh %dx%d", cfg.Mesh.Width, cfg.Mesh.Height)
+	}
+	n := &Network{cfg: cfg, mesh: cfg.Mesh, eng: eng}
+	nodes := cfg.Mesh.Nodes()
+	n.routers = make([]*Router, nodes)
+	n.nis = make([]*NI, nodes)
+	for id := 0; id < nodes; id++ {
+		n.routers[id] = newRouter(NodeID(id), n)
+	}
+	for id := 0; id < nodes; id++ {
+		r := n.routers[id]
+		for p := North; p <= West; p++ {
+			if cfg.Mesh.hasNeighbor(NodeID(id), p) {
+				r.neighbors[p] = n.routers[cfg.Mesh.neighbor(NodeID(id), p)]
+				for v := 0; v < cfg.VCsPerPort; v++ {
+					r.outCred[p][v] = cfg.VCDepth
+				}
+			}
+		}
+		// Local ejection is never back-pressured: the NI consumes flits
+		// at link rate.
+		for v := 0; v < cfg.VCsPerPort; v++ {
+			r.outCred[Local][v] = 1 << 30
+		}
+		n.nis[id] = newNI(NodeID(id), r, eng)
+	}
+	for _, r := range n.routers {
+		eng.Register(r)
+	}
+	for _, ni := range n.nis {
+		eng.Register(sim.TickFunc(ni.Tick))
+	}
+	return n, nil
+}
+
+// Mesh returns the topology.
+func (n *Network) Mesh() Mesh { return n.mesh }
+
+// Config returns the network configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Router returns the router at node id.
+func (n *Network) Router(id NodeID) *Router { return n.routers[id] }
+
+// NI returns the network interface at node id.
+func (n *Network) NI(id NodeID) *NI { return n.nis[id] }
+
+// nextPacketID issues network-unique packet IDs.
+func (n *Network) nextPacketID() uint64 {
+	n.pktID++
+	return n.pktID
+}
+
+// InFlight reports packets injected but not yet delivered or consumed by an
+// interceptor, used by tests and the deadlock watchdog.
+func (n *Network) InFlight() int {
+	var injected, delivered, consumed uint64
+	for _, ni := range n.nis {
+		injected += ni.Injected
+		delivered += ni.Delivered
+	}
+	for _, r := range n.routers {
+		consumed += r.Stats.PacketsConsumed
+	}
+	return int(injected - delivered - consumed)
+}
+
+// MeanLatency returns the mean end-to-end packet latency in cycles across
+// all NIs.
+func (n *Network) MeanLatency() float64 {
+	var l LatencySum
+	for _, ni := range n.nis {
+		l.TotalCycles += ni.TotalCycles
+		l.Count += ni.Count
+	}
+	return l.Mean()
+}

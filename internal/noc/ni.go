@@ -1,0 +1,170 @@
+package noc
+
+import "inpg/internal/sim"
+
+// Sink receives whole packets ejected at a node. Each node registers one
+// sink; the node wiring (package inpg root / internal/coherence) demuxes to
+// the L1, directory or memory controller based on the payload.
+type Sink interface {
+	Receive(now sim.Cycle, p *Packet)
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(now sim.Cycle, p *Packet)
+
+// Receive implements Sink.
+func (f SinkFunc) Receive(now sim.Cycle, p *Packet) { f(now, p) }
+
+// injection tracks a packet mid-flight between the NI and a local input VC.
+type injection struct {
+	pkt  *Packet
+	next int // next flit index to send
+}
+
+// NI is a network interface: it serializes packets into flits toward the
+// local input port of its router (one flit per cycle of injection
+// bandwidth) and reassembles ejected flits back into packets for the sink.
+type NI struct {
+	ID   NodeID
+	r    *Router
+	eng  *sim.Engine
+	sink Sink
+
+	queues [NumVNets][]*Packet
+	active []injection // index = local input VC; pkt nil when idle
+	rrVNet int
+
+	// OnInject and OnDeliver, when set, observe every packet entering the
+	// injection queue and every packet handed to the sink (tracing).
+	OnInject  func(*Packet)
+	OnDeliver func(*Packet)
+
+	Injected  uint64
+	Delivered uint64
+	LatencySum
+}
+
+// LatencySum accumulates packet latency statistics.
+type LatencySum struct {
+	TotalCycles uint64
+	Count       uint64
+}
+
+// Add records one packet latency sample.
+func (l *LatencySum) Add(c sim.Cycle) {
+	l.TotalCycles += uint64(c)
+	l.Count++
+}
+
+// Mean returns the mean latency in cycles, or 0 with no samples.
+func (l *LatencySum) Mean() float64 {
+	if l.Count == 0 {
+		return 0
+	}
+	return float64(l.TotalCycles) / float64(l.Count)
+}
+
+func newNI(id NodeID, r *Router, eng *sim.Engine) *NI {
+	ni := &NI{ID: id, r: r, eng: eng}
+	ni.active = make([]injection, r.net.cfg.VCsPerPort)
+	r.ni = ni
+	return ni
+}
+
+// SetSink registers the packet receiver for this node.
+func (ni *NI) SetSink(s Sink) { ni.sink = s }
+
+// Inject queues a packet for transmission. The packet's Src is forced to
+// this node and its size derived from the vnet class if unset.
+func (ni *NI) Inject(p *Packet) {
+	if p.Size == 0 {
+		p.Size = ControlFlits
+	}
+	p.Src = ni.ID
+	p.ID = ni.r.net.nextPacketID()
+	p.InjectedAt = ni.eng.Now()
+	ni.queues[p.VNet] = append(ni.queues[p.VNet], p)
+	ni.Injected++
+	if ni.OnInject != nil {
+		ni.OnInject(p)
+	}
+}
+
+// Tick moves at most one flit from the NI into a local input VC, preferring
+// to finish in-flight packets before starting new ones.
+func (ni *NI) Tick(now sim.Cycle) {
+	// Continue an in-flight injection.
+	for v := range ni.active {
+		inj := &ni.active[v]
+		if inj.pkt == nil {
+			continue
+		}
+		if ni.r.localVCSpace(v) <= 0 {
+			continue
+		}
+		ni.sendFlit(now, v, inj)
+		return
+	}
+	// Start a new packet: round-robin across vnets.
+	for i := 0; i < int(NumVNets); i++ {
+		vn := VNet((ni.rrVNet + i) % int(NumVNets))
+		if len(ni.queues[vn]) == 0 {
+			continue
+		}
+		p := ni.queues[vn][0]
+		lo, hi := ni.r.vcClass(vn)
+		for v := lo; v < hi; v++ {
+			if ni.active[v].pkt != nil || ni.r.localVCSpace(v) <= 0 {
+				continue
+			}
+			ni.queues[vn] = ni.queues[vn][1:]
+			ni.active[v] = injection{pkt: p}
+			ni.sendFlit(now, v, &ni.active[v])
+			ni.rrVNet = (int(vn) + 1) % int(NumVNets)
+			return
+		}
+	}
+}
+
+// sendFlit pushes the next flit of an in-flight injection into local VC v.
+func (ni *NI) sendFlit(now sim.Cycle, v int, inj *injection) {
+	p := inj.pkt
+	f := flit{pkt: p, idx: inj.next, tail: inj.next == p.Size-1}
+	consumed := ni.r.acceptFlit(now, Local, v, f)
+	if consumed || f.tail {
+		inj.pkt = nil
+		inj.next = 0
+		return
+	}
+	inj.next++
+}
+
+// eject receives one flit switched to the local output port. On the tail
+// flit the whole packet is handed to the sink on the next cycle, modeling
+// the ejection link.
+func (ni *NI) eject(now sim.Cycle, f flit) {
+	if !f.tail {
+		return
+	}
+	p := f.pkt
+	ni.eng.Schedule(0, func() {
+		p.DeliveredAt = ni.eng.Now()
+		ni.Delivered++
+		ni.Add(p.DeliveredAt - p.InjectedAt)
+		if ni.OnDeliver != nil {
+			ni.OnDeliver(p)
+		}
+		if ni.sink != nil {
+			ni.sink.Receive(ni.eng.Now(), p)
+		}
+	})
+}
+
+// QueueLen reports queued (not yet serialized) packets, for tests.
+func (ni *NI) QueueLen() int {
+	n := 0
+	for _, q := range ni.queues {
+		n += len(q)
+	}
+	return n
+}

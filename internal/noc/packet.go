@@ -1,0 +1,76 @@
+package noc
+
+import (
+	"fmt"
+
+	"inpg/internal/sim"
+)
+
+// VNet is a virtual network (message class). Separating request, forward
+// and response traffic onto disjoint virtual-channel groups breaks
+// protocol-level deadlock cycles in the coherence protocol.
+type VNet int
+
+// Virtual networks, matching the coherence protocol's message classes.
+const (
+	VNetRequest  VNet = iota // GetS/GetX/Upgrade/PutM from L1s
+	VNetForward              // Inv/FwdGetS/FwdGetX from directories and big routers
+	VNetResponse             // Data/InvAck/AckCount/Unblock/WBAck
+	NumVNets
+)
+
+// Packet sizes in flits. A cache-block transfer is one 8-flit packet and a
+// coherence control message is a single-flit packet (Table 1 of the paper;
+// 128-bit data path, 128 B block).
+const (
+	ControlFlits = 1
+	DataFlits    = 8
+)
+
+// Packet is the unit of transfer handed to and received from the network.
+// The network treats Payload as opaque; interceptors (big routers) may
+// inspect and rewrite it.
+type Packet struct {
+	ID  uint64
+	Src NodeID
+	Dst NodeID
+
+	VNet VNet
+	Size int // flits
+
+	// Priority is the OCOR arbitration priority (higher wins). Zero for
+	// plain traffic; routers ignore it unless priority arbitration is
+	// enabled network-wide.
+	Priority int
+
+	// LockReq marks a request packet that carries an exclusive (GetX)
+	// request issued by an atomic lock operation. Big routers key their
+	// locking barrier table on (LockReq, Addr).
+	LockReq bool
+	// Addr is the memory address the payload concerns, exposed here so
+	// interceptors need not understand the payload encoding.
+	Addr uint64
+
+	Payload any
+
+	// InjectedAt is stamped by the NI when the packet enters its
+	// injection queue; DeliveredAt when the tail flit is ejected.
+	InjectedAt  sim.Cycle
+	DeliveredAt sim.Cycle
+	Hops        int
+}
+
+func (p *Packet) String() string {
+	return fmt.Sprintf("pkt#%d %d->%d vnet=%d size=%d addr=%#x", p.ID, p.Src, p.Dst, p.VNet, p.Size, p.Addr)
+}
+
+// flit is one 128-bit phit-width slice of a packet. Flits of a packet
+// always travel contiguously within one virtual channel.
+type flit struct {
+	pkt        *Packet
+	idx        int // 0 = head
+	tail       bool
+	bufferedAt sim.Cycle // cycle the flit entered the current input VC
+}
+
+func (f flit) head() bool { return f.idx == 0 }

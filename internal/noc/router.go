@@ -1,0 +1,320 @@
+package noc
+
+import "inpg/internal/sim"
+
+// Interceptor is the hook through which big routers (package bigrouter)
+// participate in packet switching. Intercept is invoked exactly once per
+// router visit, at the moment the head flit of a single-flit packet enters
+// an input virtual channel (multi-flit data packets are never lock-protocol
+// control messages and pass through uninspected).
+//
+// The interceptor may mutate the packet in place (e.g. convert a stopped
+// GetX into a FwdGetX bound for the home node), consume it entirely, and/or
+// hand newly generated packets to the router, which injects them through
+// the local network interface (the paper's "separate VC" for generated
+// packets).
+type Interceptor interface {
+	Intercept(now sim.Cycle, r *Router, p *Packet) (consume bool, generated []*Packet)
+}
+
+// inputVC is one virtual-channel FIFO on a router input port. The route
+// state (outPort, outVC) always describes the packet at the front of the
+// buffer.
+type inputVC struct {
+	buf       []flit
+	routed    bool
+	outPort   Port
+	outVC     int
+	headSince sim.Cycle
+}
+
+func (vc *inputVC) reset() {
+	vc.routed = false
+	vc.outVC = -1
+}
+
+// arrival is a flit in flight on a link toward this router.
+type arrival struct {
+	f    flit
+	port Port
+	vc   int
+	at   sim.Cycle
+}
+
+// creditMsg is a credit in flight back to this router's output port.
+type creditMsg struct {
+	port Port
+	vc   int
+	at   sim.Cycle
+}
+
+// RouterStats aggregates per-router activity counters.
+type RouterStats struct {
+	FlitsSwitched   uint64
+	PacketsConsumed uint64 // removed by the interceptor
+	PacketsSeen     uint64 // head flits accepted at input VCs
+}
+
+// Router is one mesh router: NumPorts input ports × VCsPerPort virtual
+// channels, credit-based flow control, XY routing and a 2-stage pipeline
+// modeled as a minimum 2-cycle per-hop latency.
+type Router struct {
+	ID  NodeID
+	net *Network
+
+	neighbors [NumPorts]*Router
+	in        [NumPorts][]inputVC
+	outCred   [NumPorts][]int
+	outOwner  [NumPorts][]*inputVC // nil = output VC free
+
+	inbox   []arrival
+	credits []creditMsg
+
+	interceptor Interceptor
+	ni          *NI
+
+	saRR  int // round-robin pointer over (port,vc) pairs
+	Stats RouterStats
+
+	buffered int // flits currently buffered; 0 lets Tick exit early
+}
+
+func newRouter(id NodeID, net *Network) *Router {
+	r := &Router{ID: id, net: net}
+	for p := Port(0); p < NumPorts; p++ {
+		r.in[p] = make([]inputVC, net.cfg.VCsPerPort)
+		for v := range r.in[p] {
+			r.in[p][v].outVC = -1
+		}
+		r.outCred[p] = make([]int, net.cfg.VCsPerPort)
+		r.outOwner[p] = make([]*inputVC, net.cfg.VCsPerPort)
+	}
+	return r
+}
+
+// SetInterceptor installs (or removes, with nil) the packet-generation hook
+// that turns this normal router into a big router.
+func (r *Router) SetInterceptor(i Interceptor) { r.interceptor = i }
+
+// NI returns the network interface attached to this router's local port.
+func (r *Router) NI() *NI { return r.ni }
+
+// vcClass returns the half-open VC index range reserved for a vnet.
+func (r *Router) vcClass(v VNet) (lo, hi int) {
+	per := r.net.cfg.VCsPerPort / int(NumVNets)
+	return int(v) * per, (int(v) + 1) * per
+}
+
+// acceptFlit places an arriving flit into input VC (port, vcIdx), first
+// giving the interceptor a chance to consume or rewrite the packet.
+// It reports whether the flit was consumed (not buffered).
+func (r *Router) acceptFlit(now sim.Cycle, port Port, vcIdx int, f flit) bool {
+	if f.head() {
+		r.Stats.PacketsSeen++
+		if r.interceptor != nil && f.pkt.Size == 1 {
+			consume, generated := r.interceptor.Intercept(now, r, f.pkt)
+			for _, g := range generated {
+				r.ni.Inject(g)
+			}
+			if consume {
+				r.Stats.PacketsConsumed++
+				return true
+			}
+		}
+	}
+	f.bufferedAt = now
+	vc := &r.in[port][vcIdx]
+	vc.buf = append(vc.buf, f)
+	r.buffered++
+	return false
+}
+
+// Tick advances the router one cycle: drain link arrivals and returning
+// credits, compute routes and allocate output VCs for new heads, then run
+// switch allocation and traversal for one flit per input port and one flit
+// per output (port, VC).
+func (r *Router) Tick(now sim.Cycle) {
+	// Returning credits.
+	if len(r.credits) > 0 {
+		kept := r.credits[:0]
+		for _, c := range r.credits {
+			if c.at <= now {
+				r.outCred[c.port][c.vc]++
+			} else {
+				kept = append(kept, c)
+			}
+		}
+		r.credits = kept
+	}
+
+	// Link arrivals.
+	if len(r.inbox) > 0 {
+		kept := r.inbox[:0]
+		for _, a := range r.inbox {
+			if a.at <= now {
+				if r.acceptFlit(now, a.port, a.vc, a.f) {
+					// Consumed by the interceptor: the buffer slot is free
+					// again, so return the credit upstream immediately.
+					r.returnCredit(now, a.port, a.vc)
+				}
+			} else {
+				kept = append(kept, a)
+			}
+		}
+		r.inbox = kept
+	}
+
+	if r.buffered == 0 {
+		return
+	}
+
+	// Stage 1: route computation + output VC allocation for front heads.
+	for p := Port(0); p < NumPorts; p++ {
+		for v := range r.in[p] {
+			vc := &r.in[p][v]
+			if len(vc.buf) == 0 || !vc.buf[0].head() {
+				continue
+			}
+			pkt := vc.buf[0].pkt
+			if !vc.routed {
+				vc.outPort = r.net.mesh.RouteXY(r.ID, pkt.Dst)
+				vc.routed = true
+				vc.headSince = now
+			}
+			if vc.outVC < 0 {
+				lo, hi := r.vcClass(pkt.VNet)
+				for ov := lo; ov < hi; ov++ {
+					if r.outOwner[vc.outPort][ov] == nil {
+						r.outOwner[vc.outPort][ov] = vc
+						vc.outVC = ov
+						break
+					}
+				}
+			}
+		}
+	}
+
+	// Stage 2: switch allocation + traversal. One flit per input port and
+	// one flit per output port per cycle (single crossbar connection each).
+	var grantedIn [NumPorts]bool
+	var grantedOut [NumPorts]bool
+	nvc := r.net.cfg.VCsPerPort
+	total := int(NumPorts) * nvc
+	type cand struct {
+		port Port
+		vcIx int
+	}
+	// Collect one winner per output port.
+	var winners [NumPorts]cand
+	var hasWinner [NumPorts]bool
+	for i := 0; i < total; i++ {
+		slot := (r.saRR + i) % total
+		p := Port(slot / nvc)
+		v := slot % nvc
+		vc := &r.in[p][v]
+		if grantedIn[p] || len(vc.buf) == 0 || !vc.routed || vc.outVC < 0 {
+			continue
+		}
+		f := vc.buf[0]
+		if f.bufferedAt >= now {
+			continue // models the 2-stage pipeline: never same-cycle switch
+		}
+		op := vc.outPort
+		if r.outCred[op][vc.outVC] <= 0 {
+			continue
+		}
+		if grantedOut[op] {
+			// An earlier round-robin candidate holds this output; under
+			// priority arbitration a strictly better packet may steal it.
+			if !r.net.cfg.PriorityArb {
+				continue
+			}
+			w := &r.in[winners[op].port][winners[op].vcIx]
+			if !betterPriority(now, vc, w) || grantedIn[p] {
+				continue
+			}
+			grantedIn[winners[op].port] = false
+			winners[op] = cand{p, v}
+			grantedIn[p] = true
+			continue
+		}
+		grantedOut[op] = true
+		grantedIn[p] = true
+		winners[op] = cand{p, v}
+		hasWinner[op] = true
+	}
+	for op := Port(0); op < NumPorts; op++ {
+		if hasWinner[op] {
+			r.traverse(now, winners[op].port, winners[op].vcIx)
+		}
+	}
+	r.saRR = (r.saRR + 1) % total
+}
+
+// agingQuantum is the head-of-line wait that buys one effective priority
+// level — the starvation-avoidance the paper attributes to the progress
+// information OCOR embeds in request packets: a long-stalled low-priority
+// packet eventually outranks fresh high-priority traffic.
+const agingQuantum = 64
+
+// betterPriority reports whether input VC a's front packet should beat b's
+// under OCOR arbitration: higher aged priority first, then older head.
+func betterPriority(now sim.Cycle, a, b *inputVC) bool {
+	pa := effectivePriority(now, a)
+	pb := effectivePriority(now, b)
+	if pa != pb {
+		return pa > pb
+	}
+	return a.headSince < b.headSince
+}
+
+// effectivePriority is the packet's priority plus its head-of-line age in
+// aging quanta.
+func effectivePriority(now sim.Cycle, vc *inputVC) int {
+	return vc.buf[0].pkt.Priority + int(now-vc.headSince)/agingQuantum
+}
+
+// traverse moves the front flit of input VC (p, v) through the crossbar
+// onto its output link (or into the local NI).
+func (r *Router) traverse(now sim.Cycle, p Port, v int) {
+	vc := &r.in[p][v]
+	f := vc.buf[0]
+	vc.buf = vc.buf[1:]
+	r.buffered--
+	r.Stats.FlitsSwitched++
+	op := vc.outPort
+	ov := vc.outVC
+
+	if op == Local {
+		r.ni.eject(now, f)
+	} else {
+		r.outCred[op][ov]--
+		nb := r.neighbors[op]
+		nb.inbox = append(nb.inbox, arrival{f: f, port: op.opposite(), vc: ov, at: now + 1})
+		if f.head() {
+			f.pkt.Hops++
+		}
+	}
+	if f.tail {
+		r.outOwner[op][ov] = nil
+		vc.reset()
+	}
+	r.returnCredit(now, p, v)
+}
+
+// returnCredit sends one buffer credit for input VC (p, v) back upstream.
+// Local-port occupancy is observed directly by the NI, so no credit message
+// is needed there.
+func (r *Router) returnCredit(now sim.Cycle, p Port, v int) {
+	if p == Local {
+		return
+	}
+	nb := r.neighbors[p]
+	nb.credits = append(nb.credits, creditMsg{port: p.opposite(), vc: v, at: now + 1})
+}
+
+// localVCSpace reports the free slots in local input VC v, used by the NI
+// in lieu of credit messages.
+func (r *Router) localVCSpace(v int) int {
+	return r.net.cfg.VCDepth - len(r.in[Local][v].buf)
+}

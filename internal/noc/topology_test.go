@@ -1,0 +1,106 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCoordIDRoundTrip(t *testing.T) {
+	m := Mesh{Width: 8, Height: 8}
+	for id := 0; id < m.Nodes(); id++ {
+		x, y := m.Coord(NodeID(id))
+		if m.ID(x, y) != NodeID(id) {
+			t.Fatalf("round trip failed for id %d -> (%d,%d)", id, x, y)
+		}
+	}
+}
+
+func TestRouteXYTerminatesAtLocal(t *testing.T) {
+	m := Mesh{Width: 4, Height: 4}
+	for id := 0; id < m.Nodes(); id++ {
+		if m.RouteXY(NodeID(id), NodeID(id)) != Local {
+			t.Fatalf("route to self at %d is not Local", id)
+		}
+	}
+}
+
+func TestRouteXYXFirst(t *testing.T) {
+	m := Mesh{Width: 4, Height: 4}
+	// From (0,0) to (3,3): must go East until x corrected, then South.
+	if got := m.RouteXY(m.ID(0, 0), m.ID(3, 3)); got != East {
+		t.Fatalf("first hop = %v, want East", got)
+	}
+	if got := m.RouteXY(m.ID(3, 0), m.ID(3, 3)); got != South {
+		t.Fatalf("after x corrected = %v, want South", got)
+	}
+}
+
+// TestPathXYProperty checks, over random node pairs, that the XY path
+// reaches the destination in exactly Manhattan-distance hops and corrects
+// the X dimension before the Y dimension.
+func TestPathXYProperty(t *testing.T) {
+	m := Mesh{Width: 8, Height: 8}
+	f := func(a, b uint8) bool {
+		src := NodeID(int(a) % m.Nodes())
+		dst := NodeID(int(b) % m.Nodes())
+		path := m.PathXY(src, dst)
+		if path[0] != src || path[len(path)-1] != dst {
+			return false
+		}
+		if len(path)-1 != m.Distance(src, dst) {
+			return false
+		}
+		// X corrected before Y moves happen.
+		_, dy := m.Coord(dst)
+		movedY := false
+		for i := 1; i < len(path); i++ {
+			px, py := m.Coord(path[i-1])
+			cx, cy := m.Coord(path[i])
+			if cy != py {
+				movedY = true
+			}
+			if movedY && cx != px {
+				return false // moved X after Y: not XY routing
+			}
+			_ = dy
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOppositePorts(t *testing.T) {
+	pairs := [][2]Port{{North, South}, {East, West}}
+	for _, pr := range pairs {
+		if pr[0].opposite() != pr[1] || pr[1].opposite() != pr[0] {
+			t.Fatalf("%v/%v are not opposite", pr[0], pr[1])
+		}
+	}
+}
+
+func TestHasNeighborEdges(t *testing.T) {
+	m := Mesh{Width: 3, Height: 3}
+	if m.hasNeighbor(m.ID(0, 0), North) || m.hasNeighbor(m.ID(0, 0), West) {
+		t.Fatal("corner (0,0) must not have North/West neighbours")
+	}
+	if !m.hasNeighbor(m.ID(0, 0), East) || !m.hasNeighbor(m.ID(0, 0), South) {
+		t.Fatal("corner (0,0) must have East/South neighbours")
+	}
+	if !m.hasNeighbor(m.ID(1, 1), North) || !m.hasNeighbor(m.ID(1, 1), West) {
+		t.Fatal("center must have all neighbours")
+	}
+}
+
+func TestDistanceSymmetric(t *testing.T) {
+	m := Mesh{Width: 8, Height: 8}
+	f := func(a, b uint8) bool {
+		x := NodeID(int(a) % m.Nodes())
+		y := NodeID(int(b) % m.Nodes())
+		return m.Distance(x, y) == m.Distance(y, x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,114 @@
+package noc
+
+import (
+	"testing"
+
+	"inpg/internal/sim"
+)
+
+func trafficNet(t *testing.T) (*sim.Engine, *Network) {
+	t.Helper()
+	eng := sim.NewEngine(11)
+	n, err := New(eng, Config{Mesh: Mesh{Width: 4, Height: 4}, VCsPerPort: 6, VCDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, n
+}
+
+func TestUniformTrafficDrains(t *testing.T) {
+	eng, n := trafficNet(t)
+	res, err := RunTraffic(eng, n, TrafficConfig{
+		Pattern: UniformRandom, InjectionRate: 0.05, PacketFlits: 1,
+		WarmupCycles: 200, MeasureCycles: 1000, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Injected == 0 || res.Delivered != res.Injected {
+		t.Fatalf("injected %d delivered %d", res.Injected, res.Delivered)
+	}
+	if res.MeanLatency < 4 || res.MeanLatency > 60 {
+		t.Fatalf("uniform low-load latency %.1f outside sane band", res.MeanLatency)
+	}
+}
+
+func TestAllPatternsComplete(t *testing.T) {
+	for _, p := range []Pattern{UniformRandom, Transpose, BitComplement, Hotspot} {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			eng, n := trafficNet(t)
+			rate := 0.03
+			if p == Hotspot {
+				rate = 0.01 // one sink: keep offered load below its capacity
+			}
+			res, err := RunTraffic(eng, n, TrafficConfig{
+				Pattern: p, InjectionRate: rate, PacketFlits: 1,
+				WarmupCycles: 100, MeasureCycles: 800, Seed: 2,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Delivered != res.Injected {
+				t.Fatalf("%s lost packets: %d/%d", p, res.Delivered, res.Injected)
+			}
+		})
+	}
+}
+
+func TestLatencyRisesWithLoad(t *testing.T) {
+	curve, err := LatencyCurve(
+		Config{Mesh: Mesh{Width: 4, Height: 4}, VCsPerPort: 6, VCDepth: 4},
+		UniformRandom, []float64{0.02, 0.25}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != 2 {
+		t.Fatalf("curve has %d points", len(curve))
+	}
+	low, high := curve[0][1], curve[1][1]
+	if high <= low {
+		t.Fatalf("latency did not rise with load: %.1f -> %.1f", low, high)
+	}
+}
+
+func TestHotspotSlowerThanUniform(t *testing.T) {
+	run := func(p Pattern) float64 {
+		eng, n := trafficNet(t)
+		res, err := RunTraffic(eng, n, TrafficConfig{
+			Pattern: p, InjectionRate: 0.04, PacketFlits: 1,
+			WarmupCycles: 200, MeasureCycles: 1500, Seed: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MeanLatency
+	}
+	if hot, uni := run(Hotspot), run(UniformRandom); hot <= uni {
+		t.Fatalf("hotspot latency %.1f not above uniform %.1f", hot, uni)
+	}
+}
+
+func TestTrafficRejectsBadRate(t *testing.T) {
+	eng, n := trafficNet(t)
+	if _, err := RunTraffic(eng, n, TrafficConfig{Pattern: UniformRandom, InjectionRate: 0}); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+	if _, err := RunTraffic(eng, n, TrafficConfig{Pattern: UniformRandom, InjectionRate: 1.5}); err == nil {
+		t.Fatal("rate > 1 accepted")
+	}
+}
+
+func TestMultiFlitTrafficThroughput(t *testing.T) {
+	eng, n := trafficNet(t)
+	res, err := RunTraffic(eng, n, TrafficConfig{
+		Pattern: UniformRandom, InjectionRate: 0.02, PacketFlits: 8,
+		WarmupCycles: 100, MeasureCycles: 1000, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ThroughputFPC <= 0 {
+		t.Fatal("no throughput measured")
+	}
+}

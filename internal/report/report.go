@@ -1,0 +1,139 @@
+// Package report exports experiment results as CSV and JSON so the
+// regenerated figures can be plotted or diffed outside the simulator —
+// the artifact-evaluation workflow a reproduction repository needs.
+package report
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"inpg"
+	"inpg/internal/experiments"
+)
+
+// WriteSuiteCSV writes the Figures 11/12 sweep as one CSV row per program:
+// runtime and CS time per mechanism plus the derived ratios.
+func WriteSuiteCSV(w io.Writer, s *experiments.SuiteResult) error {
+	cw := csv.NewWriter(w)
+	head := []string{"program", "group"}
+	for _, m := range inpg.Mechanisms {
+		head = append(head, "runtime_"+m.String(), "cstime_"+m.String())
+	}
+	head = append(head, "cs_expedite_OCOR", "cs_expedite_iNPG", "cs_expedite_iNPG+OCOR",
+		"roi_pct_OCOR", "roi_pct_iNPG", "roi_pct_iNPG+OCOR")
+	if err := cw.Write(head); err != nil {
+		return err
+	}
+	for _, r := range s.Rows {
+		rec := []string{r.Program, fmt.Sprint(r.Group)}
+		for i := range inpg.Mechanisms {
+			rec = append(rec, fmt.Sprint(r.Runtime[i]), fmt.Sprint(r.CSTime[i]))
+		}
+		for i := 1; i <= 3; i++ {
+			rec = append(rec, fmt.Sprintf("%.4f", r.CSExpedition(i)))
+		}
+		for i := 1; i <= 3; i++ {
+			rec = append(rec, fmt.Sprintf("%.2f", r.ROIPercent(i)))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteRTTCSV writes a Figure 10 case's histogram bins as CSV.
+func WriteRTTCSV(w io.Writer, c experiments.Fig10Case) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"bin_low_cycles", "count"}); err != nil {
+		return err
+	}
+	for _, b := range c.HistBins {
+		if err := cw.Write([]string{fmt.Sprint(b[0]), fmt.Sprint(b[1])}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// RunSummary is the JSON shape of one simulation's results.
+type RunSummary struct {
+	Mechanism   string  `json:"mechanism"`
+	Lock        string  `json:"lock"`
+	Runtime     uint64  `json:"runtime_cycles"`
+	Parallel    uint64  `json:"parallel_cycles"`
+	COH         uint64  `json:"coh_cycles"`
+	Sleep       uint64  `json:"sleep_cycles"`
+	CSE         uint64  `json:"cse_cycles"`
+	CSCompleted int     `json:"cs_completed"`
+	LCOPercent  float64 `json:"lco_percent"`
+	RTTMean     float64 `json:"rtt_mean_cycles"`
+	RTTMax      uint64  `json:"rtt_max_cycles"`
+	EarlyInvs   uint64  `json:"early_invalidations"`
+	Stopped     uint64  `json:"stopped_requests"`
+	NoCEnergyNJ float64 `json:"noc_energy_nj"`
+}
+
+// Summarize converts Results for export.
+func Summarize(cfg inpg.Config, r *inpg.Results) RunSummary {
+	return RunSummary{
+		Mechanism:   cfg.Mechanism.String(),
+		Lock:        cfg.Lock.String(),
+		Runtime:     r.Runtime,
+		Parallel:    r.Parallel,
+		COH:         r.COH,
+		Sleep:       r.Sleep,
+		CSE:         r.CSE,
+		CSCompleted: r.CSCompleted,
+		LCOPercent:  r.LCOPercent,
+		RTTMean:     r.RTTMean,
+		RTTMax:      r.RTTMax,
+		EarlyInvs:   r.EarlyInvs,
+		Stopped:     r.Stopped,
+		NoCEnergyNJ: r.Energy.TotalPJ / 1e3,
+	}
+}
+
+// WriteJSON writes any value as indented JSON.
+func WriteJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// SaveAll writes the suite CSV and Figure 10 histograms into dir.
+func SaveAll(dir string, suite *experiments.SuiteResult, fig10 *experiments.Fig10Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if suite != nil {
+		f, err := os.Create(filepath.Join(dir, "suite.csv"))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := WriteSuiteCSV(f, suite); err != nil {
+			return err
+		}
+	}
+	if fig10 != nil {
+		for _, c := range fig10.Cases {
+			f, err := os.Create(filepath.Join(dir, "rtt_"+c.Mechanism.String()+".csv"))
+			if err != nil {
+				return err
+			}
+			if err := WriteRTTCSV(f, c); err != nil {
+				f.Close()
+				return err
+			}
+			f.Close()
+		}
+	}
+	return nil
+}

@@ -1,0 +1,103 @@
+package report
+
+import (
+	"bytes"
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"inpg"
+	"inpg/internal/experiments"
+)
+
+func sampleSuite() *experiments.SuiteResult {
+	return &experiments.SuiteResult{Rows: []experiments.SuiteRow{
+		{Program: "freq", Group: 3,
+			Runtime: [4]uint64{1000, 900, 800, 750},
+			CSTime:  [4]uint64{400, 350, 200, 150}},
+		{Program: "x264", Group: 1,
+			Runtime: [4]uint64{500, 500, 500, 500},
+			CSTime:  [4]uint64{50, 50, 50, 50}},
+	}}
+}
+
+func TestWriteSuiteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSuiteCSV(&buf, sampleSuite()); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("rows = %d, want header + 2", len(recs))
+	}
+	head := strings.Join(recs[0], ",")
+	for _, want := range []string{"runtime_Original", "cstime_iNPG", "cs_expedite_iNPG", "roi_pct_iNPG+OCOR"} {
+		if !strings.Contains(head, want) {
+			t.Fatalf("header missing %q: %s", want, head)
+		}
+	}
+	// freq: CS expedition for iNPG = 400/200 = 2.0; ROI = 800/1000 = 80%.
+	row := recs[1]
+	if row[0] != "freq" || row[11] != "2.0000" {
+		t.Fatalf("freq row wrong: %v", row)
+	}
+	if row[14] != "80.00" {
+		t.Fatalf("freq ROI = %s, want 80.00", row[14])
+	}
+}
+
+func TestWriteRTTCSV(t *testing.T) {
+	var buf bytes.Buffer
+	c := experiments.Fig10Case{
+		Mechanism: inpg.INPG,
+		HistBins:  [][2]uint64{{0, 12}, {5, 30}},
+	}
+	if err := WriteRTTCSV(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "bin_low_cycles,count") || !strings.Contains(out, "5,30") {
+		t.Fatalf("rtt csv wrong:\n%s", out)
+	}
+}
+
+func TestSummarizeAndJSON(t *testing.T) {
+	cfg := inpg.DefaultConfig()
+	cfg.Mechanism = inpg.INPG
+	cfg.Lock = inpg.LockTAS
+	res := &inpg.Results{Runtime: 1234, COH: 500, CSCompleted: 7, RTTMean: 12.5, EarlyInvs: 9}
+	sum := Summarize(cfg, res)
+	if sum.Mechanism != "iNPG" || sum.Lock != "TAS" || sum.Runtime != 1234 || sum.EarlyInvs != 9 {
+		t.Fatalf("summary wrong: %+v", sum)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, sum); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"mechanism": "iNPG"`, `"cs_completed": 7`, `"rtt_mean_cycles": 12.5`} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("json missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestSaveAll(t *testing.T) {
+	dir := t.TempDir()
+	fig10 := &experiments.Fig10Result{Cases: []experiments.Fig10Case{
+		{Mechanism: inpg.Original, HistBins: [][2]uint64{{0, 1}}},
+		{Mechanism: inpg.INPG, HistBins: [][2]uint64{{0, 2}}},
+	}}
+	if err := SaveAll(dir, sampleSuite(), fig10); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"suite.csv", "rtt_Original.csv", "rtt_iNPG.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Fatalf("missing export %s: %v", f, err)
+		}
+	}
+}

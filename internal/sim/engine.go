@@ -1,0 +1,182 @@
+// Package sim provides the deterministic cycle-driven simulation engine
+// that underlies the whole iNPG reproduction: a global clock, tickable
+// components, a lightweight future-event scheduler and a seeded random
+// number source.
+//
+// The engine is strictly single-threaded. Every component is ticked once
+// per cycle in registration order, which makes runs bit-reproducible for a
+// given seed and configuration. Components that need to act at a future
+// cycle (timeouts, DRAM completions, thread wake-ups) use Schedule instead
+// of busy-ticking.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Cycle is a point in simulated time, measured in core clock cycles.
+type Cycle uint64
+
+// Ticker is a component that acts once per simulated cycle.
+//
+// Tick is called with the current cycle. Components must not assume any
+// particular ordering relative to other components beyond what the system
+// wiring guarantees (messages sent during cycle N are visible at their
+// destination no earlier than cycle N+1).
+type Ticker interface {
+	Tick(now Cycle)
+}
+
+// TickFunc adapts a plain function to the Ticker interface.
+type TickFunc func(now Cycle)
+
+// Tick implements Ticker.
+func (f TickFunc) Tick(now Cycle) { f(now) }
+
+// event is a scheduled callback.
+type event struct {
+	at  Cycle
+	seq uint64 // tie-break so same-cycle events fire in schedule order
+	fn  func()
+}
+
+// eventHeap is a min-heap of events ordered by (at, seq).
+type eventHeap []event
+
+func (h eventHeap) less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !(*h).less(i, parent) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && (*h).less(l, smallest) {
+			smallest = l
+		}
+		if r < n && (*h).less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		(*h)[i], (*h)[smallest] = (*h)[smallest], (*h)[i]
+		i = smallest
+	}
+	return top
+}
+
+// Engine drives the simulation: it advances the clock, ticks registered
+// components and fires scheduled events.
+type Engine struct {
+	now     Cycle
+	tickers []Ticker
+	events  eventHeap
+	seq     uint64
+	rng     *rand.Rand
+
+	// Stopped is set by Stop; Run loops exit at the end of the current
+	// cycle once it is set.
+	stopped bool
+}
+
+// NewEngine returns an engine with its clock at cycle 0 and a deterministic
+// random source derived from seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current cycle.
+func (e *Engine) Now() Cycle { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Register adds a component to the per-cycle tick list. Components are
+// ticked in registration order.
+func (e *Engine) Register(t Ticker) {
+	if t == nil {
+		panic("sim: Register(nil)")
+	}
+	e.tickers = append(e.tickers, t)
+}
+
+// Schedule arranges for fn to run delay cycles from now, before the tickers
+// of that cycle. A delay of 0 fires at the start of the next cycle: the
+// current cycle's tick pass is never re-entered.
+func (e *Engine) Schedule(delay Cycle, fn func()) {
+	if fn == nil {
+		panic("sim: Schedule(nil)")
+	}
+	e.seq++
+	e.events.push(event{at: e.now + 1 + delay, seq: e.seq, fn: fn})
+}
+
+// ScheduleAt arranges for fn to run at absolute cycle at. Scheduling at or
+// before the current cycle fires on the next cycle.
+func (e *Engine) ScheduleAt(at Cycle, fn func()) {
+	if at <= e.now {
+		e.Schedule(0, fn)
+		return
+	}
+	e.seq++
+	e.events.push(event{at: at, seq: e.seq, fn: fn})
+}
+
+// Stop requests that the current Run loop exit at the end of this cycle.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step advances the simulation by exactly one cycle: the clock is
+// incremented, due events fire (in schedule order), then every ticker runs.
+func (e *Engine) Step() {
+	e.now++
+	for len(e.events) > 0 && e.events[0].at <= e.now {
+		ev := e.events.pop()
+		ev.fn()
+	}
+	for _, t := range e.tickers {
+		t.Tick(e.now)
+	}
+}
+
+// Run steps the engine until cond reports true (checked after each cycle),
+// Stop is called, or maxCycles elapse. It returns the number of cycles
+// executed and an error if the cycle budget was exhausted first.
+func (e *Engine) Run(maxCycles Cycle, cond func() bool) (Cycle, error) {
+	start := e.now
+	e.stopped = false
+	for e.now-start < maxCycles {
+		e.Step()
+		if e.stopped || (cond != nil && cond()) {
+			return e.now - start, nil
+		}
+	}
+	return e.now - start, fmt.Errorf("sim: cycle budget %d exhausted at cycle %d", maxCycles, e.now)
+}
+
+// PendingEvents reports the number of scheduled events not yet fired.
+// It is intended for tests and diagnostics.
+func (e *Engine) PendingEvents() int { return len(e.events) }

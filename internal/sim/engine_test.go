@@ -1,0 +1,206 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineStartsAtZero(t *testing.T) {
+	e := NewEngine(1)
+	if e.Now() != 0 {
+		t.Fatalf("Now() = %d, want 0", e.Now())
+	}
+}
+
+func TestStepAdvancesClock(t *testing.T) {
+	e := NewEngine(1)
+	for i := 1; i <= 5; i++ {
+		e.Step()
+		if e.Now() != Cycle(i) {
+			t.Fatalf("after %d steps Now() = %d", i, e.Now())
+		}
+	}
+}
+
+func TestTickersRunEveryCycleInOrder(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	e.Register(TickFunc(func(Cycle) { order = append(order, 1) }))
+	e.Register(TickFunc(func(Cycle) { order = append(order, 2) }))
+	e.Step()
+	e.Step()
+	want := []int{1, 2, 1, 2}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestScheduleFiresAtRequestedCycle(t *testing.T) {
+	e := NewEngine(1)
+	var fired Cycle
+	e.Schedule(4, func() { fired = e.Now() })
+	for i := 0; i < 10; i++ {
+		e.Step()
+	}
+	if fired != 5 {
+		t.Fatalf("fired at %d, want 5 (delay 4 from cycle 0 fires at start of cycle 5)", fired)
+	}
+}
+
+func TestScheduleZeroFiresNextCycle(t *testing.T) {
+	e := NewEngine(1)
+	var fired Cycle
+	e.Register(TickFunc(func(now Cycle) {
+		if now == 3 {
+			e.Schedule(0, func() { fired = e.Now() })
+		}
+	}))
+	for i := 0; i < 10; i++ {
+		e.Step()
+	}
+	if fired != 4 {
+		t.Fatalf("fired at %d, want 4", fired)
+	}
+}
+
+func TestScheduleAtPastFiresNextCycle(t *testing.T) {
+	e := NewEngine(1)
+	e.Step()
+	e.Step()
+	var fired Cycle
+	e.ScheduleAt(1, func() { fired = e.Now() })
+	e.Step()
+	if fired != 3 {
+		t.Fatalf("fired at %d, want 3", fired)
+	}
+}
+
+func TestSameCycleEventsFireInScheduleOrder(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	for i := 0; i < 16; i++ {
+		i := i
+		e.Schedule(2, func() { order = append(order, i) })
+	}
+	for i := 0; i < 5; i++ {
+		e.Step()
+	}
+	if len(order) != 16 {
+		t.Fatalf("fired %d events, want 16", len(order))
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d, want %d", i, v, i)
+		}
+	}
+}
+
+func TestEventsBeforeTickers(t *testing.T) {
+	e := NewEngine(1)
+	var seen []string
+	e.Register(TickFunc(func(now Cycle) {
+		if now == 2 {
+			seen = append(seen, "tick")
+		}
+	}))
+	e.Schedule(1, func() { seen = append(seen, "event") }) // fires cycle 2
+	e.Step()
+	e.Step()
+	if len(seen) != 2 || seen[0] != "event" || seen[1] != "tick" {
+		t.Fatalf("seen = %v, want [event tick]", seen)
+	}
+}
+
+func TestRunStopsOnCondition(t *testing.T) {
+	e := NewEngine(1)
+	n, err := e.Run(100, func() bool { return e.Now() == 7 })
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if n != 7 || e.Now() != 7 {
+		t.Fatalf("ran %d cycles to %d, want 7", n, e.Now())
+	}
+}
+
+func TestRunBudgetExhausted(t *testing.T) {
+	e := NewEngine(1)
+	if _, err := e.Run(10, func() bool { return false }); err == nil {
+		t.Fatal("Run should report budget exhaustion")
+	}
+}
+
+func TestStopEndsRun(t *testing.T) {
+	e := NewEngine(1)
+	e.Register(TickFunc(func(now Cycle) {
+		if now == 3 {
+			e.Stop()
+		}
+	}))
+	n, err := e.Run(100, nil)
+	if err != nil || n != 3 {
+		t.Fatalf("ran %d cycles, err=%v; want 3, nil", n, err)
+	}
+}
+
+func TestDeterministicRand(t *testing.T) {
+	a, b := NewEngine(42), NewEngine(42)
+	for i := 0; i < 100; i++ {
+		if a.Rand().Int63() != b.Rand().Int63() {
+			t.Fatal("same seed must give identical random streams")
+		}
+	}
+}
+
+func TestRegisterNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Register(nil) should panic")
+		}
+	}()
+	NewEngine(1).Register(nil)
+}
+
+func TestScheduleNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Schedule(nil) should panic")
+		}
+	}()
+	NewEngine(1).Schedule(0, nil)
+}
+
+// TestEventHeapOrdering property-checks that events always fire in
+// nondecreasing (cycle, seq) order regardless of insertion order.
+func TestEventHeapOrdering(t *testing.T) {
+	f := func(delays []uint8) bool {
+		if len(delays) == 0 {
+			return true
+		}
+		e := NewEngine(1)
+		var fired []Cycle
+		for _, d := range delays {
+			d := Cycle(d % 64)
+			e.Schedule(d, func() { fired = append(fired, e.Now()) })
+		}
+		for i := 0; i < 80; i++ {
+			e.Step()
+		}
+		if len(fired) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return e.PendingEvents() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

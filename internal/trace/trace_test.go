@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"inpg/internal/sim"
+)
+
+func sim_(c int) sim.Cycle { return sim.Cycle(c) }
+
+func TestRingKeepsLastN(t *testing.T) {
+	b := New(3)
+	for i := uint64(1); i <= 5; i++ {
+		b.Add(Event{Cycle: 0, Kind: PktInject, Addr: i})
+	}
+	if b.Total != 5 || b.Len() != 3 {
+		t.Fatalf("total=%d len=%d, want 5/3", b.Total, b.Len())
+	}
+	got := b.Events()
+	if got[0].Addr != 3 || got[2].Addr != 5 {
+		t.Fatalf("ring contents wrong: %v", got)
+	}
+}
+
+func TestOldestFirstOrder(t *testing.T) {
+	b := New(8)
+	for i := uint64(0); i < 5; i++ {
+		b.Add(Event{Addr: i})
+	}
+	for i, e := range b.Events() {
+		if e.Addr != uint64(i) {
+			t.Fatalf("event %d has addr %d", i, e.Addr)
+		}
+	}
+}
+
+func TestAddrFilter(t *testing.T) {
+	b := New(8)
+	b.AddrFilter = 0x100
+	b.Add(Event{Addr: 0x100})
+	b.Add(Event{Addr: 0x200})
+	b.Add(Event{Addr: 0x100})
+	if b.Len() != 2 {
+		t.Fatalf("filter kept %d events, want 2", b.Len())
+	}
+}
+
+func TestFilterAndWindow(t *testing.T) {
+	b := New(16)
+	for i := 0; i < 10; i++ {
+		k := PktInject
+		if i%2 == 0 {
+			k = PktDeliver
+		}
+		b.Add(Event{Cycle: sim_(i * 10), Kind: k})
+	}
+	delivers := b.Filter(func(e Event) bool { return e.Kind == PktDeliver })
+	if len(delivers) != 5 {
+		t.Fatalf("filtered %d, want 5", len(delivers))
+	}
+	w := b.Window(sim_(20), sim_(50))
+	if len(w) != 3 {
+		t.Fatalf("window has %d events, want 3 (cycles 20,30,40)", len(w))
+	}
+}
+
+func TestRenderAndCounts(t *testing.T) {
+	b := New(4)
+	b.Add(Event{Kind: PktStop, Detail: "GetX->FwdGetX"})
+	b.Add(Event{Kind: EarlyInv})
+	out := Render(b.Events())
+	if !strings.Contains(out, "stop") || !strings.Contains(out, "GetX->FwdGetX") {
+		t.Fatalf("render missing content:\n%s", out)
+	}
+	counts := CountByKind(b.Events())
+	if counts[PktStop] != 1 || counts[EarlyInv] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k, want := range map[Kind]string{
+		PktInject: "inject", PktDeliver: "deliver", PktStop: "stop",
+		EarlyInv: "early-inv", AckRelay: "ack-relay",
+		LockAcquire: "acquire", LockRelease: "release",
+	} {
+		if k.String() != want {
+			t.Fatalf("%d = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestZeroCapacityClamped(t *testing.T) {
+	b := New(0)
+	b.Add(Event{})
+	if b.Len() != 1 {
+		t.Fatal("zero-capacity buffer must clamp to 1")
+	}
+}

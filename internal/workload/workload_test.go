@@ -1,0 +1,136 @@
+package workload
+
+import "testing"
+
+func TestTwentyFourPrograms(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 24 {
+		t.Fatalf("got %d programs, want 24", len(ps))
+	}
+	parsec, omp := 0, 0
+	for _, p := range ps {
+		switch p.Suite {
+		case PARSEC:
+			parsec++
+		case OMP2012:
+			omp++
+		default:
+			t.Fatalf("%s has unknown suite %q", p.Name, p.Suite)
+		}
+	}
+	if parsec != 10 || omp != 14 {
+		t.Fatalf("suite split %d/%d, want 10 PARSEC / 14 OMP2012", parsec, omp)
+	}
+}
+
+func TestGroupsAre6_12_6SortedByCSTime(t *testing.T) {
+	ps := Profiles()
+	counts := map[int]int{}
+	for i, p := range ps {
+		counts[p.Group]++
+		if i > 0 && ps[i-1].TotalCSTime() > p.TotalCSTime() {
+			t.Fatalf("profiles not sorted by total CS time at %d", i)
+		}
+	}
+	if counts[1] != 6 || counts[2] != 12 || counts[3] != 6 {
+		t.Fatalf("group sizes = %v, want 6/12/6", counts)
+	}
+	// Group boundaries must respect the ordering.
+	for i, p := range ps {
+		want := 2
+		if i < 6 {
+			want = 1
+		} else if i >= 18 {
+			want = 3
+		}
+		if p.Group != want {
+			t.Fatalf("%s at rank %d has group %d, want %d", p.ShortName, i, p.Group, want)
+		}
+	}
+}
+
+func TestPaperAnchors(t *testing.T) {
+	fluid, err := ByName("fluidanimate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fluid.TotalCS != 10240 {
+		t.Fatalf("fluidanimate CS = %d, want the paper's 10,240", fluid.TotalCS)
+	}
+	if fluid.AvgCSCycles < 75 || fluid.AvgCSCycles > 90 {
+		t.Fatalf("fluidanimate cycles/CS = %d, want ≈81", fluid.AvgCSCycles)
+	}
+	imag, err := ByName("imagick")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imag.TotalCS != 4000 || imag.AvgCSCycles != 179 {
+		t.Fatalf("imagick = %d×%d, want the paper's 4,000×179", imag.TotalCS, imag.AvgCSCycles)
+	}
+}
+
+func TestHeadlinePlacements(t *testing.T) {
+	// nab (max iNPG CS expedition) and bt331 (max ROI gain) are heavy
+	// programs in the paper; they must land in Group 3.
+	for _, name := range []string{"nab", "bt331", "facesim", "kdtree", "fluidanimate", "freqmine"} {
+		p, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Group != 3 {
+			t.Fatalf("%s in group %d, want 3", name, p.Group)
+		}
+	}
+}
+
+func TestByNameShortAndFull(t *testing.T) {
+	a, err := ByName("freq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ByName("freqmine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name != b.Name {
+		t.Fatal("short and full names must resolve to the same profile")
+	}
+	if _, err := ByName("quake3"); err == nil {
+		t.Fatal("unknown program accepted")
+	}
+}
+
+func TestGroupSelector(t *testing.T) {
+	for g := 1; g <= 3; g++ {
+		for _, p := range Group(g) {
+			if p.Group != g {
+				t.Fatalf("Group(%d) returned %s with group %d", g, p.ShortName, p.Group)
+			}
+		}
+	}
+	if len(Group(1))+len(Group(2))+len(Group(3)) != 24 {
+		t.Fatal("groups don't partition the programs")
+	}
+}
+
+func TestCSPerThreadScaling(t *testing.T) {
+	p, _ := ByName("fluid")
+	if got := p.CSPerThread(64, 0.05); got != 8 {
+		t.Fatalf("fluid quota = %d, want 8 (10240/64×0.05)", got)
+	}
+	small, _ := ByName("x264")
+	if got := small.CSPerThread(64, 0.05); got != 2 {
+		t.Fatalf("x264 quota = %d, want floor of 2", got)
+	}
+}
+
+func TestDistinctNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, p := range Profiles() {
+		if seen[p.ShortName] || seen[p.Name] {
+			t.Fatalf("duplicate name %s/%s", p.Name, p.ShortName)
+		}
+		seen[p.ShortName] = true
+		seen[p.Name] = true
+	}
+}
