@@ -7,6 +7,7 @@ package inpg_test
 // full-size tables.
 
 import (
+	"sync"
 	"testing"
 
 	"inpg"
@@ -107,17 +108,21 @@ func BenchmarkFig10RoundTrip(b *testing.B) {
 }
 
 // benchSuite caches the shared Figure 11/12 sweep across both benches.
-var benchSuiteCache *experiments.SuiteResult
+// The sync.Once keeps the lazy fill safe if the benches ever run from
+// concurrent goroutines (and under -race).
+var (
+	benchSuiteOnce  sync.Once
+	benchSuiteCache *experiments.SuiteResult
+	benchSuiteErr   error
+)
 
 func benchSuite(b *testing.B) *experiments.SuiteResult {
 	b.Helper()
-	if benchSuiteCache == nil {
-		o := benchOpts()
-		s, err := experiments.RunSuite(o)
-		if err != nil {
-			b.Fatal(err)
-		}
-		benchSuiteCache = s
+	benchSuiteOnce.Do(func() {
+		benchSuiteCache, benchSuiteErr = experiments.RunSuite(benchOpts())
+	})
+	if benchSuiteErr != nil {
+		b.Fatal(benchSuiteErr)
 	}
 	return benchSuiteCache
 }
@@ -195,6 +200,7 @@ func BenchmarkFig15Sensitivity(b *testing.B) {
 // BenchmarkSimulatorThroughput measures raw simulation speed: simulated
 // cycles per second on the contended Table 1 platform.
 func BenchmarkSimulatorThroughput(b *testing.B) {
+	b.ReportAllocs()
 	var cycles uint64
 	for i := 0; i < b.N; i++ {
 		cfg := inpg.DefaultConfig()

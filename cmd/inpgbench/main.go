@@ -15,27 +15,64 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"inpg/internal/experiments"
 	"inpg/internal/report"
+	"inpg/internal/runner"
 )
 
 func main() {
 	var (
-		fig   = flag.String("fig", "", "comma-separated figure list: t1,2,7,8,9,10,11,12,13,14,15,abl")
-		all   = flag.Bool("all", false, "run every figure")
-		quick = flag.Bool("quick", false, "smaller runs (for smoke testing)")
-		full  = flag.Bool("full13", false, "run Figure 13 over all 24 programs instead of 9")
-		scale = flag.Float64("scale", 0.05, "ROI critical-section scale factor")
-		seed  = flag.Int64("seed", 42, "random seed")
-		seeds = flag.Int("seeds", 1, "seeds to average over (figures 11/12)")
-		out   = flag.String("out", "", "directory for CSV exports (suite + RTT histograms)")
+		fig     = flag.String("fig", "", "comma-separated figure list: t1,2,7,8,9,10,11,12,13,14,15,abl")
+		all     = flag.Bool("all", false, "run every figure")
+		quick   = flag.Bool("quick", false, "smaller runs (for smoke testing)")
+		full    = flag.Bool("full13", false, "run Figure 13 over all 24 programs instead of 9")
+		scale   = flag.Float64("scale", 0.05, "ROI critical-section scale factor")
+		seed    = flag.Int64("seed", 42, "random seed")
+		seeds   = flag.Int("seeds", 1, "seeds to average over (figures 11/12)")
+		workers = flag.Int("workers", 0, "concurrent simulations per sweep (0 = GOMAXPROCS)")
+		out     = flag.String("out", "", "directory for CSV exports (suite + RTT histograms)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
 
-	o := experiments.Options{Scale: *scale, Seed: *seed, Seeds: *seeds, Quick: *quick}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "inpgbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "inpgbench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "inpgbench:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC() // flush garbage so the profile shows live + cumulative truthfully
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "inpgbench:", err)
+				os.Exit(1)
+			}
+		}()
+	}
+
+	o := experiments.Options{Scale: *scale, Seed: *seed, Seeds: *seeds, Quick: *quick, Workers: *workers}
+	// Stderr so the figure tables on stdout stay byte-comparable across runs.
+	fmt.Fprintf(os.Stderr, "[inpgbench: %d workers]\n", runner.Workers(*workers))
 	want := map[string]bool{}
 	if *all {
 		for _, f := range []string{"t1", "2", "7", "8", "9", "10", "11", "12", "13", "14", "15", "abl"} {

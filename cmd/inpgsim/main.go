@@ -1,12 +1,14 @@
-// Command inpgsim runs a single iNPG simulation and reports its results:
-// phase breakdown, lock-coherence overhead, invalidation round trips and
-// critical-section throughput.
+// Command inpgsim runs one iNPG simulation — or the same simulation over
+// several seeds in parallel — and reports its results: phase breakdown,
+// lock-coherence overhead, invalidation round trips and critical-section
+// throughput.
 //
 // Examples:
 //
 //	inpgsim -mech iNPG -lock TAS -cs 8 -parallel 2000
 //	inpgsim -mesh 4 -mech Original -lock MCS -v
 //	inpgsim -program kdtree -mech iNPG+OCOR
+//	inpgsim -program kdtree -seeds 8 -workers 4   # seed sweep, 4 at a time
 package main
 
 import (
@@ -17,6 +19,7 @@ import (
 	"inpg"
 	"inpg/internal/experiments"
 	"inpg/internal/report"
+	"inpg/internal/runner"
 	"inpg/internal/workload"
 )
 
@@ -32,6 +35,8 @@ func main() {
 		brs      = flag.Int("bigrouters", -1, "big routers for iNPG (-1 = half the nodes)")
 		barrier  = flag.Int("barrier", 0, "locking barrier table entries (0 = default 16)")
 		seed     = flag.Int64("seed", 1, "random seed")
+		seeds    = flag.Int("seeds", 1, "run this many consecutive seeds and report the spread")
+		workers  = flag.Int("workers", 0, "concurrent simulations for -seeds (0 = GOMAXPROCS)")
 		verbose  = flag.Bool("v", false, "print per-thread breakdown")
 		asJSON   = flag.Bool("json", false, "emit the result summary as JSON")
 		listProg = flag.Bool("list", false, "list workload profiles and exit")
@@ -70,6 +75,14 @@ func main() {
 	cfg.BigRouters = *brs
 	cfg.BarrierEntries = *barrier
 
+	if *seeds > 1 {
+		if *asJSON {
+			fatal(fmt.Errorf("-json reports a single run; drop -seeds"))
+		}
+		seedSweep(cfg, *seeds, *workers)
+		return
+	}
+
 	sys, err := inpg.New(cfg)
 	fatal(err)
 	res, err := sys.Run()
@@ -103,6 +116,42 @@ func main() {
 				t.ID, t.Parallel, t.COH, t.Sleep, t.CSE, t.CSCompleted, t.Sleeps)
 		}
 	}
+}
+
+// seedSweep runs cfg under n consecutive seeds on the parallel runner and
+// prints per-seed rows plus the mean and spread — the quick way to judge
+// whether a single-seed difference is signal or noise.
+func seedSweep(cfg inpg.Config, n, workers int) {
+	cfgs := make([]inpg.Config, n)
+	for i := range cfgs {
+		cfgs[i] = cfg
+		cfgs[i].Seed = cfg.Seed + int64(i)
+	}
+	results, err := runner.Run(cfgs, workers)
+	fatal(err)
+
+	fmt.Printf("mechanism      %s, lock %s, %dx%d mesh, seeds %d..%d, %d workers\n",
+		cfg.Mechanism, cfg.Lock, cfg.MeshWidth, cfg.MeshHeight,
+		cfg.Seed, cfg.Seed+int64(n-1), runner.Workers(workers))
+	fmt.Printf("%6s %12s %8s %8s %10s\n", "seed", "runtime", "LCO%", "rtt", "earlyInv")
+	var rtSum, rtMin, rtMax uint64
+	var lcoSum float64
+	for i, res := range results {
+		fmt.Printf("%6d %12d %7.1f%% %8.1f %10d\n",
+			cfgs[i].Seed, res.Runtime, res.LCOPercent, res.RTTMean, res.EarlyInvs)
+		rtSum += res.Runtime
+		lcoSum += res.LCOPercent
+		if i == 0 || res.Runtime < rtMin {
+			rtMin = res.Runtime
+		}
+		if res.Runtime > rtMax {
+			rtMax = res.Runtime
+		}
+	}
+	mean := float64(rtSum) / float64(n)
+	fmt.Printf("mean runtime   %.0f cycles (min %d, max %d, spread %.1f%%)\n",
+		mean, rtMin, rtMax, 100*float64(rtMax-rtMin)/mean)
+	fmt.Printf("mean LCO       %.1f%%\n", lcoSum/float64(n))
 }
 
 func fatal(err error) {

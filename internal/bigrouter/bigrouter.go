@@ -120,18 +120,18 @@ func (g *Gen) Intercept(now sim.Cycle, r *noc.Router, p *noc.Packet) (bool, []*n
 	}
 	switch {
 	case p.LockReq && m.Type == coherence.MsgGetX:
-		return g.onLockGetX(now, p, m)
+		return g.onLockGetX(now, r, p, m)
 	case m.Type == coherence.MsgInvAck && m.EarlyInv && !m.ToDir && p.Dst == g.Node:
 		// An InvAck answering one of our early Invs. Acks with ToDir set
 		// are already relayed and belong to the destination's directory,
 		// even when that directory shares a node with a big router.
-		return g.onEarlyInvAck(now, m)
+		return g.onEarlyInvAck(now, r, m)
 	}
 	return false, nil
 }
 
 // onLockGetX applies the barrier logic to a traversing lock GetX.
-func (g *Gen) onLockGetX(now sim.Cycle, p *noc.Packet, m *coherence.Message) (bool, []*noc.Packet) {
+func (g *Gen) onLockGetX(now sim.Cycle, r *noc.Router, p *noc.Packet, m *coherence.Message) (bool, []*noc.Packet) {
 	g.expire(now)
 	b := g.barriers[m.Addr]
 	if b == nil {
@@ -190,12 +190,12 @@ func (g *Gen) onLockGetX(now sim.Cycle, p *noc.Packet, m *coherence.Message) (bo
 		EarlyInv:  true,
 		Token:     token,
 	}
-	return false, []*noc.Packet{genPacket(inv, m.Requestor)}
+	return false, []*noc.Packet{genPacket(r, inv, m.Requestor)}
 }
 
 // onEarlyInvAck consumes an InvAck returning to this big router and relays
 // it to the home node of the lock.
-func (g *Gen) onEarlyInvAck(now sim.Cycle, m *coherence.Message) (bool, []*noc.Packet) {
+func (g *Gen) onEarlyInvAck(now sim.Cycle, r *noc.Router, m *coherence.Message) (bool, []*noc.Packet) {
 	if b := g.barriers[m.Addr]; b != nil {
 		if ei := b.eis[m.AckFor]; ei != nil {
 			if g.rtt != nil {
@@ -227,7 +227,7 @@ func (g *Gen) onEarlyInvAck(now sim.Cycle, m *coherence.Message) (bool, []*noc.P
 		ToDir:    true,
 		Token:    m.Token,
 	}
-	return true, []*noc.Packet{genPacket(fwd, g.homes.Home(m.Addr))}
+	return true, []*noc.Packet{genPacket(r, fwd, g.homes.Home(m.Addr))}
 }
 
 // expire deletes barriers whose TTL ran out with no live EI entries.
@@ -246,18 +246,21 @@ func (g *Gen) Barriers(now sim.Cycle) int {
 	return len(g.barriers)
 }
 
-// genPacket wraps a generated message. Generated packets use the same
-// priority as protocol responses so they are never starved under OCOR.
-func genPacket(m *coherence.Message, dst noc.NodeID) *noc.Packet {
-	vnet := m.Type.VNet()
-	return &noc.Packet{
-		Dst:      dst,
-		VNet:     vnet,
-		Size:     noc.ControlFlits,
-		Priority: 100,
-		Addr:     m.Addr,
-		Payload:  m,
+// genPacket wraps a generated message in a packet recycled from r's
+// network. Generated packets use the same priority as protocol responses
+// so they are never starved under OCOR.
+func genPacket(r *noc.Router, m *coherence.Message, dst noc.NodeID) *noc.Packet {
+	p := new(noc.Packet)
+	if r != nil { // unit tests intercept without a live network
+		p = r.NewPacket()
 	}
+	p.Dst = dst
+	p.VNet = m.Type.VNet()
+	p.Size = noc.ControlFlits
+	p.Priority = 100
+	p.Addr = m.Addr
+	p.Payload = m
+	return p
 }
 
 // Deployment returns the node set for n big routers on mesh m, distributed

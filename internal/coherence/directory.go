@@ -168,7 +168,7 @@ func (d *Dir) line(addr uint64) *dirLine {
 // send wraps and injects a message.
 func (d *Dir) send(m *Message, dst noc.NodeID, priority int) {
 	m.From = d.Node
-	d.ni.Inject(packetFor(m, dst, priority))
+	d.ni.Inject(packetFor(d.ni, m, dst, priority))
 }
 
 // Receive queues a message for handling after the L2 bank latency.

@@ -126,7 +126,7 @@ func (l *L1) Cache() *cache.Cache { return l.arr }
 // send wraps m in a packet and injects it.
 func (l *L1) send(m *Message, dst noc.NodeID, priority int) {
 	m.From = l.Node
-	l.ni.Inject(packetFor(m, dst, priority))
+	l.ni.Inject(packetFor(l.ni, m, dst, priority))
 }
 
 // respPriority is the fixed arbitration priority of forward/response

@@ -51,13 +51,17 @@ func sleepsOf(r *inpg.Results) int {
 func ablate(name, what string, settings []string, mk func(i int, cfg *inpg.Config)) func(Options) (*AblationResult, error) {
 	return func(o Options) (*AblationResult, error) {
 		out := &AblationResult{Name: name, What: what}
+		cfgs := make([]inpg.Config, len(settings))
+		for i := range settings {
+			cfgs[i] = baseAblationConfig(o)
+			mk(i, &cfgs[i])
+		}
+		results, err := runAll(o, cfgs)
+		if err != nil {
+			return nil, fmt.Errorf("ablation %s: %w", name, err)
+		}
 		for i, s := range settings {
-			cfg := baseAblationConfig(o)
-			mk(i, &cfg)
-			res, err := Run(cfg)
-			if err != nil {
-				return nil, fmt.Errorf("ablation %s/%s: %w", name, s, err)
-			}
+			res := results[i]
 			out.Rows = append(out.Rows, AblationRow{
 				Setting:   s,
 				Runtime:   res.Runtime,

@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"inpg"
+	"inpg/internal/runner"
 	"inpg/internal/workload"
 )
 
@@ -29,6 +30,13 @@ type Options struct {
 	Seeds int
 	// Quick shrinks runs further for benchmarks and smoke tests.
 	Quick bool
+	// Workers bounds how many simulations of a sweep run concurrently;
+	// 0 selects GOMAXPROCS. Every simulation stays single-threaded and
+	// seeded, so figure outputs are identical for any worker count.
+	Workers int
+	// Programs, when non-empty, restricts the program-sweep figures
+	// (8, 11/12) to the named workload profiles.
+	Programs []string
 }
 
 // DefaultOptions returns the options used for the published EXPERIMENTS.md
@@ -81,6 +89,31 @@ func Run(cfg inpg.Config) (*inpg.Results, error) {
 	return sys.Run()
 }
 
+// runAll executes a batch of configurations across Options.Workers cores
+// and returns the results in submission order. Sweeps build their full
+// configuration list up front, submit it here, and aggregate from the
+// ordered results, so their figures are identical for any worker count.
+func runAll(o Options, cfgs []inpg.Config) ([]*inpg.Results, error) {
+	return runner.Run(cfgs, o.Workers)
+}
+
+// profiles returns the workload set a program sweep covers: all 24
+// profiles, or the Options.Programs subset.
+func (o Options) profiles() ([]workload.Profile, error) {
+	if len(o.Programs) == 0 {
+		return workload.Profiles(), nil
+	}
+	out := make([]workload.Profile, 0, len(o.Programs))
+	for _, name := range o.Programs {
+		p, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
 // mustRatio returns num/den, guarding zero denominators.
 func mustRatio(num, den float64) float64 {
 	if den == 0 {
@@ -101,10 +134,14 @@ func meanOf(v []float64) float64 {
 	return s / float64(len(v))
 }
 
-// maxOf returns the maximum of a slice (0 when empty).
+// maxOf returns the maximum of a slice (0 when empty). Unlike a
+// zero-seeded fold it is correct for all-negative inputs.
 func maxOf(v []float64) float64 {
-	m := 0.0
-	for _, x := range v {
+	if len(v) == 0 {
+		return 0
+	}
+	m := v[0]
+	for _, x := range v[1:] {
 		if x > m {
 			m = x
 		}

@@ -147,6 +147,9 @@ func TestMeanMaxHelpers(t *testing.T) {
 	if meanOf([]float64{1, 2, 3}) != 2 || maxOf([]float64{1, 9, 3}) != 9 {
 		t.Fatal("helpers broken")
 	}
+	if maxOf([]float64{-5, -2, -9}) != -2 {
+		t.Fatal("maxOf wrong on all-negative input")
+	}
 	if mustRatio(4, 0) != 0 || mustRatio(6, 3) != 2 {
 		t.Fatal("ratio helper broken")
 	}
@@ -219,6 +222,50 @@ func TestSuiteRowMath(t *testing.T) {
 	}
 	if !strings.Contains(s.RenderFig11(), "iNPG over OCOR") || !strings.Contains(s.RenderFig12(), "overall mean") {
 		t.Fatal("suite renders incomplete")
+	}
+}
+
+// TestSuiteDeterministicAcrossWorkerCounts is the harness's core guarantee:
+// the rendered figures are byte-identical no matter how many workers ran the
+// batch, because each simulation is seeded and single-threaded and results
+// are aggregated in submission order.
+func TestSuiteDeterministicAcrossWorkerCounts(t *testing.T) {
+	o := tiny()
+	o.Programs = []string{"freq", "kdtree"}
+	o.Seeds = 2
+
+	o.Workers = 1
+	serial, err := RunSuite(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Workers = 8
+	parallel, err := RunSuite(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := parallel.RenderFig11(), serial.RenderFig11(); got != want {
+		t.Fatalf("Fig11 differs across worker counts:\nworkers=1:\n%s\nworkers=8:\n%s", want, got)
+	}
+	if got, want := parallel.RenderFig12(), serial.RenderFig12(); got != want {
+		t.Fatalf("Fig12 differs across worker counts:\nworkers=1:\n%s\nworkers=8:\n%s", want, got)
+	}
+}
+
+func TestOptionsProfilesSubset(t *testing.T) {
+	o := tiny()
+	ps, err := o.profiles()
+	if err != nil || len(ps) != 24 {
+		t.Fatalf("default profiles = %d, err %v; want all 24", len(ps), err)
+	}
+	o.Programs = []string{"kdtree", "freq"}
+	ps, err = o.profiles()
+	if err != nil || len(ps) != 2 {
+		t.Fatalf("subset profiles = %d, err %v", len(ps), err)
+	}
+	o.Programs = []string{"no-such-program"}
+	if _, err = o.profiles(); err == nil {
+		t.Fatal("unknown program must error")
 	}
 }
 

@@ -5,7 +5,6 @@ import (
 	"strings"
 
 	"inpg"
-	"inpg/internal/workload"
 )
 
 // SuiteRow holds one program's results across the four mechanisms.
@@ -36,22 +35,41 @@ type SuiteResult struct {
 	Rows []SuiteRow
 }
 
-// RunSuite executes all 24 programs under the four comparative cases with
-// the default queue spin-lock, averaging over Options.Seeds seeds.
+// RunSuite executes all 24 programs (or the Options.Programs subset)
+// under the four comparative cases with the default queue spin-lock,
+// averaging over Options.Seeds seeds. The full program × mechanism × seed
+// cross product — 96 independent simulations at defaults — is submitted
+// to the parallel runner as one batch; aggregation reads the ordered
+// results, so the figures are identical for any worker count.
 func RunSuite(o Options) (*SuiteResult, error) {
 	seeds := o.seedList()
-	out := &SuiteResult{}
-	for _, p := range workload.Profiles() {
-		row := SuiteRow{Program: p.ShortName, Group: p.Group}
-		for i, mech := range inpg.Mechanisms {
-			var rtSum, csSum uint64
+	profiles, err := o.profiles()
+	if err != nil {
+		return nil, err
+	}
+	var cfgs []inpg.Config
+	for _, p := range profiles {
+		for _, mech := range inpg.Mechanisms {
 			for _, seed := range seeds {
 				so := o
 				so.Seed = seed
-				res, err := Run(ConfigFor(p, mech, inpg.LockQSL, so))
-				if err != nil {
-					return nil, fmt.Errorf("suite %s/%s: %w", p.ShortName, mech, err)
-				}
+				cfgs = append(cfgs, ConfigFor(p, mech, inpg.LockQSL, so))
+			}
+		}
+	}
+	results, err := runAll(o, cfgs)
+	if err != nil {
+		return nil, fmt.Errorf("suite: %w", err)
+	}
+	out := &SuiteResult{}
+	next := 0
+	for _, p := range profiles {
+		row := SuiteRow{Program: p.ShortName, Group: p.Group}
+		for i := range inpg.Mechanisms {
+			var rtSum, csSum uint64
+			for range seeds {
+				res := results[next]
+				next++
 				rtSum += res.Runtime
 				csSum += res.CSTime()
 			}

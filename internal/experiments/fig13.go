@@ -44,18 +44,26 @@ func Fig13(o Options, full24 bool) (*Fig13Result, error) {
 			profiles = append(profiles, p)
 		}
 	}
+	// Submit every (program, lock, mechanism) run as one parallel batch:
+	// two configs per cell, Original first then iNPG.
+	var cfgs []inpg.Config
+	for _, p := range profiles {
+		for _, lk := range inpg.LockKinds {
+			cfgs = append(cfgs, ConfigFor(p, inpg.Original, lk, o))
+			cfgs = append(cfgs, ConfigFor(p, inpg.INPG, lk, o))
+		}
+	}
+	results, err := runAll(o, cfgs)
+	if err != nil {
+		return nil, fmt.Errorf("fig13: %w", err)
+	}
 	sums := make([]float64, len(inpg.LockKinds))
+	next := 0
 	for _, p := range profiles {
 		row := Fig13Row{Program: p.ShortName}
-		for li, lk := range inpg.LockKinds {
-			orig, err := Run(ConfigFor(p, inpg.Original, lk, o))
-			if err != nil {
-				return nil, fmt.Errorf("fig13 %s/%s: %w", p.ShortName, lk, err)
-			}
-			with, err := Run(ConfigFor(p, inpg.INPG, lk, o))
-			if err != nil {
-				return nil, fmt.Errorf("fig13 %s/%s: %w", p.ShortName, lk, err)
-			}
+		for li := range inpg.LockKinds {
+			orig, with := results[next], results[next+1]
+			next += 2
 			red := 100 * (1 - mustRatio(float64(with.Runtime), float64(orig.Runtime)))
 			row.ReductionPct = append(row.ReductionPct, red)
 			sums[li] += red

@@ -36,25 +36,35 @@ var Fig14Programs = []string{"can", "freq", "nab"}
 func Fig14(o Options) (*Fig14Result, error) {
 	r := &Fig14Result{Deployments: Fig14Deployments}
 	sums := make([]float64, len(Fig14Deployments))
+	var cfgs []inpg.Config
+	var names []string
 	for _, name := range Fig14Programs {
 		p, err := workload.ByName(name)
 		if err != nil {
 			return nil, err
 		}
-		row := Fig14Row{Program: p.ShortName}
-		var base float64
-		for i, n := range Fig14Deployments {
+		names = append(names, p.ShortName)
+		for _, n := range Fig14Deployments {
 			mech := inpg.INPG
 			if n == 0 {
 				mech = inpg.Original
 			}
 			cfg := ConfigFor(p, mech, inpg.LockQSL, o)
 			cfg.BigRouters = n
-			res, err := Run(cfg)
-			if err != nil {
-				return nil, fmt.Errorf("fig14 %s/%d: %w", name, n, err)
-			}
-			cs := float64(res.CSTime())
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	results, err := runAll(o, cfgs)
+	if err != nil {
+		return nil, fmt.Errorf("fig14: %w", err)
+	}
+	next := 0
+	for _, name := range names {
+		row := Fig14Row{Program: name}
+		var base float64
+		for i := range Fig14Deployments {
+			cs := float64(results[next].CSTime())
+			next++
 			if i == 0 {
 				base = cs
 			}

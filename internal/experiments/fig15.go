@@ -37,41 +37,48 @@ var Fig15Programs = []string{"freq", "kdtree"}
 // enough locks/threads contend.
 func Fig15(o Options) (*Fig15Result, error) {
 	r := &Fig15Result{Dims: Fig15Dims, Tables: Fig15Tables, Programs: Fig15Programs}
+	mk := func(p workload.Profile, dim, tbl int, mech inpg.Mechanism) inpg.Config {
+		cfg := ConfigFor(p, mech, inpg.LockQSL, o)
+		cfg.MeshWidth, cfg.MeshHeight = dim, dim
+		threads := dim * dim
+		scale := o.quickScale()
+		if threads > 64 {
+			scale /= 4 // keep 256-core runs tractable
+		}
+		cfg.CSPerThread = p.CSPerThread(threads, scale)
+		cfg.BarrierEntries = tbl
+		// Several concurrent hot locks are what makes the barrier-table
+		// capacity bind: with one lock even a 4-entry table never fills.
+		cfg.LockCount = 8
+		return cfg
+	}
+	// Submit the whole dim × table × program × mechanism matrix at once:
+	// the 256-core cells dominate wall clock, so letting them run while
+	// the small meshes finish is where the parallel win is largest.
+	var cfgs []inpg.Config
 	for _, dim := range Fig15Dims {
-		var row []float64
 		for _, tbl := range Fig15Tables {
-			var reductions []float64
 			for _, name := range Fig15Programs {
 				p, err := workload.ByName(name)
 				if err != nil {
 					return nil, err
 				}
-				mk := func(mech inpg.Mechanism) (inpg.Config, int) {
-					cfg := ConfigFor(p, mech, inpg.LockQSL, o)
-					cfg.MeshWidth, cfg.MeshHeight = dim, dim
-					threads := dim * dim
-					scale := o.quickScale()
-					if threads > 64 {
-						scale /= 4 // keep 256-core runs tractable
-					}
-					cfg.CSPerThread = p.CSPerThread(threads, scale)
-					cfg.BarrierEntries = tbl
-					// Several concurrent hot locks are what makes the
-					// barrier-table capacity bind: with one lock even a
-					// 4-entry table never fills.
-					cfg.LockCount = 8
-					return cfg, threads
-				}
-				origCfg, _ := mk(inpg.Original)
-				orig, err := Run(origCfg)
-				if err != nil {
-					return nil, fmt.Errorf("fig15 %s %dx%d: %w", name, dim, dim, err)
-				}
-				withCfg, _ := mk(inpg.INPG)
-				with, err := Run(withCfg)
-				if err != nil {
-					return nil, fmt.Errorf("fig15 %s %dx%d inpg: %w", name, dim, dim, err)
-				}
+				cfgs = append(cfgs, mk(p, dim, tbl, inpg.Original), mk(p, dim, tbl, inpg.INPG))
+			}
+		}
+	}
+	results, err := runAll(o, cfgs)
+	if err != nil {
+		return nil, fmt.Errorf("fig15: %w", err)
+	}
+	next := 0
+	for range Fig15Dims {
+		var row []float64
+		for range Fig15Tables {
+			var reductions []float64
+			for range Fig15Programs {
+				orig, with := results[next], results[next+1]
+				next += 2
 				reductions = append(reductions,
 					100*(1-mustRatio(float64(with.Runtime), float64(orig.Runtime))))
 				r.TotalRuns += 2

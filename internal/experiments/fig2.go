@@ -21,21 +21,29 @@ type Fig2Result struct {
 }
 
 // Fig2 reproduces Figure 2: %LCO of application running time under the
-// five locking primitives for kdtree, facesim and fluidanimate.
+// five locking primitives for kdtree, facesim and fluidanimate. The
+// program × primitive grid is submitted to the parallel runner as one
+// batch and aggregated from the ordered results.
 func Fig2(o Options) (*Fig2Result, error) {
 	r := &Fig2Result{Programs: Fig2Programs, Locks: inpg.LockKinds}
+	var cfgs []inpg.Config
 	for _, name := range Fig2Programs {
 		p, err := workload.ByName(name)
 		if err != nil {
 			return nil, err
 		}
-		row := make([]float64, 0, len(inpg.LockKinds))
 		for _, lk := range inpg.LockKinds {
-			res, err := Run(ConfigFor(p, inpg.Original, lk, o))
-			if err != nil {
-				return nil, fmt.Errorf("fig2 %s/%s: %w", name, lk, err)
-			}
-			row = append(row, res.LCOPercent)
+			cfgs = append(cfgs, ConfigFor(p, inpg.Original, lk, o))
+		}
+	}
+	results, err := runAll(o, cfgs)
+	if err != nil {
+		return nil, fmt.Errorf("fig2: %w", err)
+	}
+	for i := range Fig2Programs {
+		row := make([]float64, 0, len(inpg.LockKinds))
+		for j := range inpg.LockKinds {
+			row = append(row, results[i*len(inpg.LockKinds)+j].LCOPercent)
 		}
 		r.LCOPercent = append(r.LCOPercent, row)
 	}

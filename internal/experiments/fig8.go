@@ -5,7 +5,6 @@ import (
 	"strings"
 
 	"inpg"
-	"inpg/internal/workload"
 )
 
 // Fig8Row characterizes one program's critical sections.
@@ -39,11 +38,20 @@ type Fig8Result struct {
 // overhead and CS execution (8b) with the three total-CS-time groups.
 func Fig8(o Options) (*Fig8Result, error) {
 	r := &Fig8Result{}
-	for _, p := range workload.Profiles() {
-		res, err := Run(ConfigFor(p, inpg.Original, inpg.LockQSL, o))
-		if err != nil {
-			return nil, fmt.Errorf("fig8 %s: %w", p.ShortName, err)
-		}
+	profiles, err := o.profiles()
+	if err != nil {
+		return nil, err
+	}
+	cfgs := make([]inpg.Config, len(profiles))
+	for i, p := range profiles {
+		cfgs[i] = ConfigFor(p, inpg.Original, inpg.LockQSL, o)
+	}
+	results, err := runAll(o, cfgs)
+	if err != nil {
+		return nil, fmt.Errorf("fig8: %w", err)
+	}
+	for i, p := range profiles {
+		res := results[i]
 		r.Rows = append(r.Rows, Fig8Row{
 			Program:     p.ShortName,
 			Suite:       p.Suite,

@@ -1,0 +1,47 @@
+package noc
+
+import (
+	"testing"
+
+	"inpg/internal/sim"
+)
+
+// BenchmarkTrafficSteadyState drives a 4×4 mesh with uniform traffic and
+// reports allocations — the guard for the hot-path allocation diet: packet
+// pooling, VC-buffer reuse and closure-free ejection. A regression here
+// (allocs/op creeping back up) means a flit/packet path started allocating
+// per event again.
+func BenchmarkTrafficSteadyState(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine(7)
+		n, err := New(eng, Config{Mesh: Mesh{Width: 4, Height: 4}, VCsPerPort: 6, VCDepth: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := RunTraffic(eng, n, TrafficConfig{
+			Pattern: UniformRandom, InjectionRate: 0.05, PacketFlits: 1,
+			WarmupCycles: 100, MeasureCycles: 500, Seed: int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Delivered != res.Injected {
+			b.Fatalf("lost packets: %d/%d", res.Delivered, res.Injected)
+		}
+	}
+}
+
+// BenchmarkPacketPool isolates the free-list round trip: steady-state
+// get/put must not allocate at all once the pool is warm.
+func BenchmarkPacketPool(b *testing.B) {
+	var pp packetPool
+	pp.put(new(Packet))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pp.get()
+		p.Dst = NodeID(i)
+		pp.put(p)
+	}
+}

@@ -32,6 +32,7 @@ type Network struct {
 	routers []*Router
 	nis     []*NI
 	pktID   uint64
+	pool    packetPool
 }
 
 // New builds and wires a mesh network and registers it with the engine.
@@ -95,6 +96,14 @@ func (n *Network) nextPacketID() uint64 {
 	n.pktID++
 	return n.pktID
 }
+
+// NewPacket returns a zeroed packet from the network's free list. Packets
+// obtained here are recycled automatically once delivered to a sink or
+// consumed by an interceptor, so senders on the steady-state protocol
+// paths avoid a heap allocation per message. Callers may still inject
+// packets they allocated themselves; those simply join the free list when
+// they die.
+func (n *Network) NewPacket() *Packet { return n.pool.get() }
 
 // InFlight reports packets injected but not yet delivered or consumed by an
 // interceptor, used by tests and the deadlock watchdog.

@@ -21,6 +21,40 @@ type injection struct {
 	next int // next flit index to send
 }
 
+// pktFIFO is a head-indexed packet queue. Popping advances a cursor
+// instead of reslicing, so the backing array keeps its capacity and
+// steady-state push/pop cycles stop allocating; the buffer compacts once
+// the dead prefix dominates.
+type pktFIFO struct {
+	buf  []*Packet
+	head int
+}
+
+func (q *pktFIFO) push(p *Packet) { q.buf = append(q.buf, p) }
+
+func (q *pktFIFO) len() int { return len(q.buf) - q.head }
+
+func (q *pktFIFO) front() *Packet { return q.buf[q.head] }
+
+func (q *pktFIFO) pop() *Packet {
+	p := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head++
+	switch {
+	case q.head == len(q.buf):
+		q.buf = q.buf[:0]
+		q.head = 0
+	case q.head > 32 && q.head*2 >= len(q.buf):
+		n := copy(q.buf, q.buf[q.head:])
+		for i := n; i < len(q.buf); i++ {
+			q.buf[i] = nil
+		}
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	return p
+}
+
 // NI is a network interface: it serializes packets into flits toward the
 // local input port of its router (one flit per cycle of injection
 // bandwidth) and reassembles ejected flits back into packets for the sink.
@@ -30,9 +64,16 @@ type NI struct {
 	eng  *sim.Engine
 	sink Sink
 
-	queues [NumVNets][]*Packet
+	queues [NumVNets]pktFIFO
 	active []injection // index = local input VC; pkt nil when idle
 	rrVNet int
+
+	// Delivery batching: at most one packet ejects per cycle (Local is a
+	// single output port), so one pre-built flush closure per NI replaces
+	// a fresh closure allocation per delivered packet.
+	pendingDeliver []*Packet
+	flushScheduled bool
+	flushFn        func()
 
 	// OnInject and OnDeliver, when set, observe every packet entering the
 	// injection queue and every packet handed to the sink (tracing).
@@ -67,12 +108,18 @@ func (l *LatencySum) Mean() float64 {
 func newNI(id NodeID, r *Router, eng *sim.Engine) *NI {
 	ni := &NI{ID: id, r: r, eng: eng}
 	ni.active = make([]injection, r.net.cfg.VCsPerPort)
+	ni.flushFn = ni.flushDeliveries
 	r.ni = ni
 	return ni
 }
 
 // SetSink registers the packet receiver for this node.
 func (ni *NI) SetSink(s Sink) { ni.sink = s }
+
+// NewPacket returns a zeroed packet from the network's free list (see
+// Network.NewPacket); protocol controllers attached to this NI use it to
+// build messages without a per-send heap allocation.
+func (ni *NI) NewPacket() *Packet { return ni.r.net.pool.get() }
 
 // Inject queues a packet for transmission. The packet's Src is forced to
 // this node and its size derived from the vnet class if unset.
@@ -83,7 +130,7 @@ func (ni *NI) Inject(p *Packet) {
 	p.Src = ni.ID
 	p.ID = ni.r.net.nextPacketID()
 	p.InjectedAt = ni.eng.Now()
-	ni.queues[p.VNet] = append(ni.queues[p.VNet], p)
+	ni.queues[p.VNet].push(p)
 	ni.Injected++
 	if ni.OnInject != nil {
 		ni.OnInject(p)
@@ -108,16 +155,16 @@ func (ni *NI) Tick(now sim.Cycle) {
 	// Start a new packet: round-robin across vnets.
 	for i := 0; i < int(NumVNets); i++ {
 		vn := VNet((ni.rrVNet + i) % int(NumVNets))
-		if len(ni.queues[vn]) == 0 {
+		if ni.queues[vn].len() == 0 {
 			continue
 		}
-		p := ni.queues[vn][0]
+		p := ni.queues[vn].front()
 		lo, hi := ni.r.vcClass(vn)
 		for v := lo; v < hi; v++ {
 			if ni.active[v].pkt != nil || ni.r.localVCSpace(v) <= 0 {
 				continue
 			}
-			ni.queues[vn] = ni.queues[vn][1:]
+			ni.queues[vn].pop()
 			ni.active[v] = injection{pkt: p}
 			ni.sendFlit(now, v, &ni.active[v])
 			ni.rrVNet = (int(vn) + 1) % int(NumVNets)
@@ -146,8 +193,24 @@ func (ni *NI) eject(now sim.Cycle, f flit) {
 	if !f.tail {
 		return
 	}
-	p := f.pkt
-	ni.eng.Schedule(0, func() {
+	ni.pendingDeliver = append(ni.pendingDeliver, f.pkt)
+	if !ni.flushScheduled {
+		ni.flushScheduled = true
+		ni.eng.Schedule(0, ni.flushFn)
+	}
+}
+
+// flushDeliveries hands every pending ejected packet to the sink in
+// ejection order, then recycles the packet shells. It runs one cycle after
+// the tail flit left the router (the ejection link), scheduled through the
+// single reusable flushFn closure.
+func (ni *NI) flushDeliveries() {
+	ni.flushScheduled = false
+	for len(ni.pendingDeliver) > 0 {
+		p := ni.pendingDeliver[0]
+		n := copy(ni.pendingDeliver, ni.pendingDeliver[1:])
+		ni.pendingDeliver[n] = nil
+		ni.pendingDeliver = ni.pendingDeliver[:n]
 		p.DeliveredAt = ni.eng.Now()
 		ni.Delivered++
 		ni.Add(p.DeliveredAt - p.InjectedAt)
@@ -157,14 +220,15 @@ func (ni *NI) eject(now sim.Cycle, f flit) {
 		if ni.sink != nil {
 			ni.sink.Receive(ni.eng.Now(), p)
 		}
-	})
+		ni.r.net.pool.put(p)
+	}
 }
 
 // QueueLen reports queued (not yet serialized) packets, for tests.
 func (ni *NI) QueueLen() int {
 	n := 0
 	for _, q := range ni.queues {
-		n += len(q)
+		n += q.len()
 	}
 	return n
 }

@@ -74,3 +74,35 @@ type flit struct {
 }
 
 func (f flit) head() bool { return f.idx == 0 }
+
+// packetPool is a per-network free list of Packet shells. A network is
+// owned by exactly one (single-threaded) simulation engine, so the pool
+// needs no locking, and recycling is fully deterministic.
+//
+// Packets are zeroed when handed out, not when returned: released packets
+// keep their fields until reuse, so a sink that merely reads a delivered
+// packet after Receive returns (tests, tracing) still sees valid data.
+// Sinks must not retain a packet past the cycle it was delivered in —
+// the shell may be reissued for any later injection.
+type packetPool struct {
+	free []*Packet
+}
+
+// get returns a zeroed packet, recycling a released shell when available.
+func (pp *packetPool) get() *Packet {
+	if n := len(pp.free); n > 0 {
+		p := pp.free[n-1]
+		pp.free[n-1] = nil
+		pp.free = pp.free[:n-1]
+		*p = Packet{}
+		return p
+	}
+	return new(Packet)
+}
+
+// put returns a dead packet shell to the free list. The payload reference
+// is kept until reuse (see get); the pool is bounded by the maximum number
+// of simultaneously in-flight packets.
+func (pp *packetPool) put(p *Packet) {
+	pp.free = append(pp.free, p)
+}

@@ -13,6 +13,11 @@ import "inpg/internal/sim"
 // hand newly generated packets to the router, which injects them through
 // the local network interface (the paper's "separate VC" for generated
 // packets).
+//
+// A consumed packet's shell is recycled by the network: the interceptor
+// must not retain it past the Intercept call and must not return it among
+// the generated packets (its payload may be read, and reused in fresh
+// packets, before returning).
 type Interceptor interface {
 	Intercept(now sim.Cycle, r *Router, p *Packet) (consume bool, generated []*Packet)
 }
@@ -85,6 +90,7 @@ func newRouter(id NodeID, net *Network) *Router {
 		r.in[p] = make([]inputVC, net.cfg.VCsPerPort)
 		for v := range r.in[p] {
 			r.in[p][v].outVC = -1
+			r.in[p][v].buf = make([]flit, 0, net.cfg.VCDepth)
 		}
 		r.outCred[p] = make([]int, net.cfg.VCsPerPort)
 		r.outOwner[p] = make([]*inputVC, net.cfg.VCsPerPort)
@@ -98,6 +104,10 @@ func (r *Router) SetInterceptor(i Interceptor) { r.interceptor = i }
 
 // NI returns the network interface attached to this router's local port.
 func (r *Router) NI() *NI { return r.ni }
+
+// NewPacket returns a zeroed packet from the network's free list;
+// interceptors use it to build generated packets allocation-free.
+func (r *Router) NewPacket() *Packet { return r.net.pool.get() }
 
 // vcClass returns the half-open VC index range reserved for a vnet.
 func (r *Router) vcClass(v VNet) (lo, hi int) {
@@ -118,6 +128,7 @@ func (r *Router) acceptFlit(now sim.Cycle, port Port, vcIdx int, f flit) bool {
 			}
 			if consume {
 				r.Stats.PacketsConsumed++
+				r.net.pool.put(f.pkt)
 				return true
 			}
 		}
@@ -279,7 +290,12 @@ func effectivePriority(now sim.Cycle, vc *inputVC) int {
 func (r *Router) traverse(now sim.Cycle, p Port, v int) {
 	vc := &r.in[p][v]
 	f := vc.buf[0]
-	vc.buf = vc.buf[1:]
+	// Shift down instead of reslicing: vc.buf[1:] would strand the front
+	// capacity and force append to reallocate on nearly every arrival (the
+	// dominant steady-state allocation). Buffers are at most VCDepth flits,
+	// so the copy is a few words.
+	n := copy(vc.buf, vc.buf[1:])
+	vc.buf = vc.buf[:n]
 	r.buffered--
 	r.Stats.FlitsSwitched++
 	op := vc.outPort

@@ -134,11 +134,11 @@ func RunTraffic(eng *sim.Engine, n *Network, cfg TrafficConfig) (*TrafficResult,
 				if d == NodeID(id) {
 					continue
 				}
-				n.NI(NodeID(id)).Inject(&Packet{
-					Dst:  d,
-					VNet: VNet(rng.Intn(int(NumVNets))),
-					Size: cfg.PacketFlits,
-				})
+				p := n.NewPacket()
+				p.Dst = d
+				p.VNet = VNet(rng.Intn(int(NumVNets)))
+				p.Size = cfg.PacketFlits
+				n.NI(NodeID(id)).Inject(p)
 				res.Injected++
 			}
 		}

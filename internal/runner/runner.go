@@ -1,0 +1,92 @@
+// Package runner fans independent iNPG simulations out across CPU cores.
+//
+// The paper's evaluation is a large sweep of mutually independent runs —
+// programs × mechanisms × lock primitives × seeds — and every sim.Engine
+// is strictly single-threaded and seeded, so whole simulations are the
+// natural unit of parallelism: each run executes on its own goroutine and
+// produces results bit-identical to a serial execution of the same
+// configuration. The runner bounds concurrency (default GOMAXPROCS),
+// returns results in submission order for deterministic aggregation, and
+// propagates the error of the lowest-index failing run.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"inpg"
+)
+
+// Workers resolves a worker-count setting: values > 0 are used as given,
+// anything else selects GOMAXPROCS.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach invokes fn(i) for every i in [0, n) across at most workers
+// goroutines and blocks until all invocations return. Indices are claimed
+// in order, so with workers == 1 the calls happen exactly in sequence.
+// The first error by index order is returned; once any invocation fails,
+// unstarted indices are abandoned (in-flight ones run to completion).
+func ForEach(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var failed atomic.Bool
+	next.Store(-1)
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n || failed.Load() {
+					return
+				}
+				if err := fn(i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("runner: run %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Run executes every configuration, each complete simulation on its own
+// goroutine with at most workers concurrent (Workers semantics), and
+// returns the results in submission order. On failure the remaining
+// unstarted runs are abandoned and the lowest-index error is returned.
+func Run(cfgs []inpg.Config, workers int) ([]*inpg.Results, error) {
+	results := make([]*inpg.Results, len(cfgs))
+	err := ForEach(len(cfgs), workers, func(i int) error {
+		sys, err := inpg.New(cfgs[i])
+		if err != nil {
+			return err
+		}
+		results[i], err = sys.Run()
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}

@@ -1,0 +1,41 @@
+package sim
+
+import "testing"
+
+// BenchmarkScheduleStep measures the event-heap round trip: schedule one
+// future callback, advance one cycle, fire it. With the preallocated heap
+// backing, steady-state push/pop must not grow the slice.
+func BenchmarkScheduleStep(b *testing.B) {
+	e := NewEngine(1)
+	sink := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(0, func() { sink++ })
+		e.Step()
+	}
+	if sink != b.N {
+		b.Fatalf("fired %d of %d events", sink, b.N)
+	}
+}
+
+// BenchmarkScheduleBurst pushes a burst of same-cycle events and drains
+// it, the shape the NoC produces under contention (many deliveries landing
+// on one cycle). Exercises heap growth up to the burst size and reuse of
+// the backing array across iterations.
+func BenchmarkScheduleBurst(b *testing.B) {
+	e := NewEngine(1)
+	sink := 0
+	fn := func() { sink++ }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 64; j++ {
+			e.Schedule(0, fn)
+		}
+		e.Step()
+	}
+	if sink != 64*b.N {
+		b.Fatalf("fired %d of %d events", sink, 64*b.N)
+	}
+}

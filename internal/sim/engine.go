@@ -103,10 +103,19 @@ type Engine struct {
 	stopped bool
 }
 
+// eventHeapPrealloc sizes the event heap's initial backing array. A full
+// Table 1 platform keeps a few hundred events outstanding (thread wakeups,
+// DRAM completions, NI deliveries); starting near that bound avoids the
+// doubling reallocations of a cold heap on every run.
+const eventHeapPrealloc = 1024
+
 // NewEngine returns an engine with its clock at cycle 0 and a deterministic
 // random source derived from seed.
 func NewEngine(seed int64) *Engine {
-	return &Engine{rng: rand.New(rand.NewSource(seed))}
+	return &Engine{
+		rng:    rand.New(rand.NewSource(seed)),
+		events: make(eventHeap, 0, eventHeapPrealloc),
+	}
 }
 
 // Now returns the current cycle.
