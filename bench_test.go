@@ -221,6 +221,39 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	b.ReportMetric(float64(cycles)/float64(b.N), "sim-cycles/run")
 }
 
+// BenchmarkSimulatorIdleHeavy measures simulation speed on an idle-heavy
+// workload: TTL (whose waiters back off proportionally to queue distance)
+// with long parallel phases, so for most of the run the chip is quiescent —
+// every thread is parked on a scheduled event and no router or NI has work.
+// This is the shape of the paper's high-contention/high-backoff scenarios,
+// and the workload where activity-driven scheduling pays off most: an
+// always-tick engine burns a full 128-component tick pass on every one of
+// those empty cycles.
+func BenchmarkSimulatorIdleHeavy(b *testing.B) {
+	b.ReportAllocs()
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		cfg := inpg.DefaultConfig()
+		cfg.Lock = inpg.LockTTL
+		cfg.CSPerThread = 3
+		cfg.CSCycles = 50
+		cfg.CSJitter = 15
+		cfg.ParallelCycles = 30_000
+		cfg.ParallelJitter = 5_000
+		cfg.Seed = int64(i + 1)
+		sys, err := inpg.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := sys.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += res.Runtime
+	}
+	b.ReportMetric(float64(cycles)/float64(b.N), "sim-cycles/run")
+}
+
 // BenchmarkAblationBarrierTTL runs the barrier-TTL ablation and reports
 // the RTT at the paper's default TTL.
 func BenchmarkAblationBarrierTTL(b *testing.B) {

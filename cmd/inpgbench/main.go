@@ -35,6 +35,7 @@ func main() {
 		seed    = flag.Int64("seed", 42, "random seed")
 		seeds   = flag.Int("seeds", 1, "seeds to average over (figures 11/12)")
 		workers = flag.Int("workers", 0, "concurrent simulations per sweep (0 = GOMAXPROCS)")
+		compat  = flag.Bool("compat", false, "always-tick engine mode (slow reference scheduler; identical output)")
 		out     = flag.String("out", "", "directory for CSV exports (suite + RTT histograms)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write an allocation profile to this file on exit")
@@ -70,7 +71,7 @@ func main() {
 		}()
 	}
 
-	o := experiments.Options{Scale: *scale, Seed: *seed, Seeds: *seeds, Quick: *quick, Workers: *workers}
+	o := experiments.Options{Scale: *scale, Seed: *seed, Seeds: *seeds, Quick: *quick, Workers: *workers, Compat: *compat}
 	// Stderr so the figure tables on stdout stay byte-comparable across runs.
 	fmt.Fprintf(os.Stderr, "[inpgbench: %d workers]\n", runner.Workers(*workers))
 	want := map[string]bool{}

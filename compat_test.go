@@ -1,0 +1,98 @@
+package inpg_test
+
+// Differential check for activity-driven scheduling: the engine's
+// wake/sleep protocol and idle fast-forward are pure scheduling
+// optimizations, so a full-protocol run must be bit-identical to the same
+// run under the always-tick reference mode (Config.AlwaysTick) — same
+// runtime, same per-thread phase breakdowns, same network statistics, and
+// the same message-level event stream in the same order.
+
+import (
+	"reflect"
+	"testing"
+
+	"inpg"
+	"inpg/internal/trace"
+)
+
+// compatRun executes one configuration with full protocol tracing and
+// returns the results plus the ordered message-level event stream.
+func compatRun(t *testing.T, cfg inpg.Config, alwaysTick bool) (*inpg.Results, []trace.Event) {
+	t.Helper()
+	cfg.AlwaysTick = alwaysTick
+	cfg.TraceCapacity = 1 << 19
+	sys, err := inpg.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := sys.Trace()
+	if tr.Len() >= 1<<19 {
+		t.Fatalf("trace overflowed its ring (%d events): enlarge TraceCapacity so delivery order is fully compared", tr.Len())
+	}
+	return res, tr.Events()
+}
+
+// TestActivitySchedulingMatchesAlwaysTick runs the full lock protocol —
+// every lock kind, three seeds, big routers and priority arbitration
+// deployed — under both engine modes and asserts identical cycle counts,
+// statistics and packet delivery order.
+func TestActivitySchedulingMatchesAlwaysTick(t *testing.T) {
+	for _, lk := range inpg.LockKinds {
+		for _, seed := range []int64{1, 7, 1009} {
+			lk, seed := lk, seed
+			t.Run(lk.String(), func(t *testing.T) {
+				cfg := inpg.DefaultConfig()
+				cfg.Lock = lk
+				cfg.Mechanism = inpg.INPGOCOR
+				cfg.CSPerThread = 2
+				cfg.Seed = seed
+
+				active, activeEvents := compatRun(t, cfg, false)
+				compat, compatEvents := compatRun(t, cfg, true)
+
+				if active.Runtime != compat.Runtime {
+					t.Fatalf("seed %d: runtime %d under activity scheduling, %d under always-tick",
+						seed, active.Runtime, compat.Runtime)
+				}
+				if !reflect.DeepEqual(active, compat) {
+					t.Fatalf("seed %d: results diverge:\nactivity:    %+v\nalways-tick: %+v",
+						seed, active, compat)
+				}
+				if len(activeEvents) != len(compatEvents) {
+					t.Fatalf("seed %d: %d trace events under activity scheduling, %d under always-tick",
+						seed, len(activeEvents), len(compatEvents))
+				}
+				for i := range activeEvents {
+					if activeEvents[i] != compatEvents[i] {
+						t.Fatalf("seed %d: event %d diverges:\nactivity:    %+v\nalways-tick: %+v",
+							seed, i, activeEvents[i], compatEvents[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestActivitySchedulingMatchesAlwaysTickOriginal covers the baseline
+// mechanism (no interceptors) for one lock, so the wake protocol is
+// validated on the pure router/NI/protocol path as well.
+func TestActivitySchedulingMatchesAlwaysTickOriginal(t *testing.T) {
+	cfg := inpg.DefaultConfig()
+	cfg.Lock = inpg.LockQSL
+	cfg.Mechanism = inpg.Original
+	cfg.CSPerThread = 2
+	cfg.Seed = 3
+
+	active, activeEvents := compatRun(t, cfg, false)
+	compat, compatEvents := compatRun(t, cfg, true)
+	if !reflect.DeepEqual(active, compat) {
+		t.Fatalf("results diverge:\nactivity:    %+v\nalways-tick: %+v", active, compat)
+	}
+	if !reflect.DeepEqual(activeEvents, compatEvents) {
+		t.Fatal("trace event streams diverge")
+	}
+}

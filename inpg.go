@@ -194,6 +194,14 @@ type Config struct {
 	// (0 traces everything).
 	TraceCapacity int
 	TraceAddr     uint64
+
+	// AlwaysTick disables the engine's activity-driven scheduling: every
+	// router and NI ticks every cycle and idle stretches are stepped one
+	// cycle at a time, the pre-optimization behaviour. Runs are
+	// bit-identical either way (pinned by TestActivitySchedulingMatchesAlwaysTick);
+	// the mode exists as the reference for that differential check and for
+	// debugging suspected wake/sleep protocol violations.
+	AlwaysTick bool
 }
 
 // DefaultConfig returns the paper's Table 1 platform with the Linux-4.2
@@ -292,6 +300,7 @@ func New(cfg Config) (*System, error) {
 	}
 
 	eng := sim.NewEngine(cfg.Seed)
+	eng.SetAlwaysTick(cfg.AlwaysTick)
 	fcfg := coherence.DefaultFabricConfig()
 	fcfg.Net.Mesh = noc.Mesh{Width: cfg.MeshWidth, Height: cfg.MeshHeight}
 	fcfg.Net.PriorityArb = cfg.Mechanism.usesOCOR()

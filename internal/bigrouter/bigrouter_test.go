@@ -230,3 +230,66 @@ func TestDeploymentCounts(t *testing.T) {
 		}
 	}
 }
+
+// TestGeneratedPacketWakesSleepingNetwork deploys a generator on a real
+// mesh under activity-driven scheduling: once the idle network has gone
+// fully to sleep, a stopped GetX must still trigger an early Inv whose
+// injection wakes the big router's NI and every router on the path, and
+// the mesh must return to sleep after draining.
+func TestGeneratedPacketWakesSleepingNetwork(t *testing.T) {
+	eng := sim.NewEngine(1)
+	n, err := noc.New(eng, noc.Config{Mesh: noc.Mesh{Width: 4, Height: 4}, VCsPerPort: 6, VCDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.TTL = 10_000 // keep the barrier alive across the idle gap
+	g := New(eng, 2, coherence.HomeMap{Nodes: 16, BlockBytes: 128}, cfg)
+	n.Router(2).SetInterceptor(g)
+
+	gotInv := false
+	n.NI(1).SetSink(noc.SinkFunc(func(now sim.Cycle, p *noc.Packet) {
+		m, ok := p.Payload.(*coherence.Message)
+		if ok && m.Type == coherence.MsgInv && m.EarlyInv {
+			gotInv = true
+		}
+	}))
+
+	// With no traffic every router and NI sleeps within a few cycles.
+	for i := 0; i < 5; i++ {
+		eng.Step()
+	}
+	if eng.ActiveTickers() != 0 {
+		t.Fatalf("%d tickers still awake on an idle mesh", eng.ActiveTickers())
+	}
+
+	// Two lock GetX requests for the same line, both routed 0/1 → 3
+	// through the big router at node 2. The first opens a barrier; the
+	// second is stopped there and generates the early Inv back to its
+	// issuer, node 1.
+	eng.Schedule(20, func() {
+		p, _ := lockGetX(0, 0x1000)
+		n.NI(0).Inject(p)
+	})
+	eng.Schedule(80, func() {
+		p, _ := lockGetX(1, 0x1000)
+		n.NI(1).Inject(p)
+	})
+	if _, err := eng.Run(1000, func() bool { return gotInv }); err != nil {
+		t.Fatalf("early Inv never delivered: %v", err)
+	}
+	if g.Stats.GetXStopped != 1 || g.Stats.EarlyInvsSent != 1 {
+		t.Fatalf("generator stats wrong: %+v", g.Stats)
+	}
+
+	// Drain the converted FwdGetX and verify the mesh sleeps again.
+	if _, err := eng.Run(1000, func() bool { return n.InFlight() == 0 }); err != nil {
+		t.Fatalf("network failed to drain: %v", err)
+	}
+	for i := 0; i < 5; i++ {
+		eng.Step()
+	}
+	if eng.ActiveTickers() != 0 {
+		t.Fatalf("%d tickers still awake after drain", eng.ActiveTickers())
+	}
+}

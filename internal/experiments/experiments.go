@@ -37,6 +37,11 @@ type Options struct {
 	// Programs, when non-empty, restricts the program-sweep figures
 	// (8, 11/12) to the named workload profiles.
 	Programs []string
+	// Compat runs every simulation with the engine's always-tick
+	// reference mode instead of activity-driven scheduling. Figure
+	// outputs are identical either way (the scheduler is cycle-exact);
+	// this exists to demonstrate that and to debug scheduler changes.
+	Compat bool
 }
 
 // DefaultOptions returns the options used for the published EXPERIMENTS.md
@@ -64,6 +69,7 @@ func ConfigFor(p workload.Profile, mech inpg.Mechanism, lk inpg.LockKind, o Opti
 	cfg.CSJitter = p.AvgCSCycles / 3
 	cfg.ParallelCycles = p.ParallelCycles
 	cfg.ParallelJitter = p.ParallelCycles / 3
+	cfg.AlwaysTick = o.Compat
 	return cfg
 }
 

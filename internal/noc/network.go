@@ -70,11 +70,15 @@ func New(eng *sim.Engine, cfg Config) (*Network, error) {
 		}
 		n.nis[id] = newNI(NodeID(id), r, eng)
 	}
+	// Routers and NIs participate in the engine's wake/sleep protocol:
+	// each keeps its registration handle, wakes on new work (link
+	// arrivals, credits, injections) and sleeps when quiescent, so an
+	// idle mesh costs no tick work at all.
 	for _, r := range n.routers {
-		eng.Register(r)
+		r.handle = eng.Register(r)
 	}
 	for _, ni := range n.nis {
-		eng.Register(sim.TickFunc(ni.Tick))
+		ni.handle = eng.Register(ni)
 	}
 	return n, nil
 }

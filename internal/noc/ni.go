@@ -68,6 +68,14 @@ type NI struct {
 	active []injection // index = local input VC; pkt nil when idle
 	rrVNet int
 
+	// activeCount and queued mirror the population of active and queues so
+	// an idle NI is O(1): Tick skips the slot and vnet scans entirely, and
+	// their joint zero is the sleep condition. handle is the NI's
+	// wake/sleep handle; Inject wakes it.
+	activeCount int
+	queued      int
+	handle      sim.Handle
+
 	// Delivery batching: at most one packet ejects per cycle (Local is a
 	// single output port), so one pre-built flush closure per NI replaces
 	// a fresh closure allocation per delivered packet.
@@ -131,6 +139,8 @@ func (ni *NI) Inject(p *Packet) {
 	p.ID = ni.r.net.nextPacketID()
 	p.InjectedAt = ni.eng.Now()
 	ni.queues[p.VNet].push(p)
+	ni.queued++
+	ni.eng.Wake(ni.handle)
 	ni.Injected++
 	if ni.OnInject != nil {
 		ni.OnInject(p)
@@ -138,38 +148,49 @@ func (ni *NI) Inject(p *Packet) {
 }
 
 // Tick moves at most one flit from the NI into a local input VC, preferring
-// to finish in-flight packets before starting new ones.
+// to finish in-flight packets before starting new ones. An idle NI does no
+// per-slot work: the counters short-circuit both scans, and when nothing is
+// queued or in flight the NI leaves the tick set until the next Inject.
 func (ni *NI) Tick(now sim.Cycle) {
 	// Continue an in-flight injection.
-	for v := range ni.active {
-		inj := &ni.active[v]
-		if inj.pkt == nil {
-			continue
-		}
-		if ni.r.localVCSpace(v) <= 0 {
-			continue
-		}
-		ni.sendFlit(now, v, inj)
-		return
-	}
-	// Start a new packet: round-robin across vnets.
-	for i := 0; i < int(NumVNets); i++ {
-		vn := VNet((ni.rrVNet + i) % int(NumVNets))
-		if ni.queues[vn].len() == 0 {
-			continue
-		}
-		p := ni.queues[vn].front()
-		lo, hi := ni.r.vcClass(vn)
-		for v := lo; v < hi; v++ {
-			if ni.active[v].pkt != nil || ni.r.localVCSpace(v) <= 0 {
+	if ni.activeCount > 0 {
+		for v := range ni.active {
+			inj := &ni.active[v]
+			if inj.pkt == nil {
 				continue
 			}
-			ni.queues[vn].pop()
-			ni.active[v] = injection{pkt: p}
-			ni.sendFlit(now, v, &ni.active[v])
-			ni.rrVNet = (int(vn) + 1) % int(NumVNets)
+			if ni.r.localVCSpace(v) <= 0 {
+				continue
+			}
+			ni.sendFlit(now, v, inj)
 			return
 		}
+	}
+	// Start a new packet: round-robin across vnets.
+	if ni.queued > 0 {
+		for i := 0; i < int(NumVNets); i++ {
+			vn := VNet((ni.rrVNet + i) % int(NumVNets))
+			if ni.queues[vn].len() == 0 {
+				continue
+			}
+			p := ni.queues[vn].front()
+			lo, hi := ni.r.vcClass(vn)
+			for v := lo; v < hi; v++ {
+				if ni.active[v].pkt != nil || ni.r.localVCSpace(v) <= 0 {
+					continue
+				}
+				ni.queues[vn].pop()
+				ni.queued--
+				ni.active[v] = injection{pkt: p}
+				ni.activeCount++
+				ni.sendFlit(now, v, &ni.active[v])
+				ni.rrVNet = (int(vn) + 1) % int(NumVNets)
+				return
+			}
+		}
+	}
+	if ni.activeCount == 0 && ni.queued == 0 {
+		ni.eng.Sleep(ni.handle)
 	}
 }
 
@@ -181,6 +202,7 @@ func (ni *NI) sendFlit(now sim.Cycle, v int, inj *injection) {
 	if consumed || f.tail {
 		inj.pkt = nil
 		inj.next = 0
+		ni.activeCount--
 		return
 	}
 	inj.next++

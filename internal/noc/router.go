@@ -82,6 +82,17 @@ type Router struct {
 	Stats RouterStats
 
 	buffered int // flits currently buffered; 0 lets Tick exit early
+
+	// occ lists the occupied input VCs as sorted slot ids
+	// (slot = port*VCsPerPort + vc), so the allocation stages visit only
+	// live VCs instead of scanning all NumPorts×VCsPerPort slots. The
+	// ascending order preserves the exact visit order of the full scan.
+	occ []int
+
+	// handle is the router's wake/sleep handle; a router sleeps when it
+	// holds no flits and its link queues are empty, and is woken by link
+	// arrivals, returning credits and NI flit pushes.
+	handle sim.Handle
 }
 
 func newRouter(id NodeID, net *Network) *Router {
@@ -95,7 +106,32 @@ func newRouter(id NodeID, net *Network) *Router {
 		r.outCred[p] = make([]int, net.cfg.VCsPerPort)
 		r.outOwner[p] = make([]*inputVC, net.cfg.VCsPerPort)
 	}
+	r.occ = make([]int, 0, int(NumPorts)*net.cfg.VCsPerPort)
 	return r
+}
+
+// wake puts the router back into the engine's tick set.
+func (r *Router) wake() { r.net.eng.Wake(r.handle) }
+
+// occInsert adds slot s to the occupied-VC list, keeping it sorted.
+func (r *Router) occInsert(s int) {
+	i := 0
+	for i < len(r.occ) && r.occ[i] < s {
+		i++
+	}
+	r.occ = append(r.occ, 0)
+	copy(r.occ[i+1:], r.occ[i:])
+	r.occ[i] = s
+}
+
+// occRemove drops slot s from the occupied-VC list.
+func (r *Router) occRemove(s int) {
+	for i, v := range r.occ {
+		if v == s {
+			r.occ = append(r.occ[:i], r.occ[i+1:]...)
+			return
+		}
+	}
 }
 
 // SetInterceptor installs (or removes, with nil) the packet-generation hook
@@ -136,7 +172,11 @@ func (r *Router) acceptFlit(now sim.Cycle, port Port, vcIdx int, f flit) bool {
 	f.bufferedAt = now
 	vc := &r.in[port][vcIdx]
 	vc.buf = append(vc.buf, f)
+	if len(vc.buf) == 1 {
+		r.occInsert(int(port)*r.net.cfg.VCsPerPort + vcIdx)
+	}
 	r.buffered++
+	r.wake()
 	return false
 }
 
@@ -176,30 +216,36 @@ func (r *Router) Tick(now sim.Cycle) {
 	}
 
 	if r.buffered == 0 {
+		// Quiescent: no flits buffered, nothing in flight toward us. Drop
+		// out of the tick set; arrivals, credits and NI pushes wake us.
+		if len(r.inbox) == 0 && len(r.credits) == 0 {
+			r.net.eng.Sleep(r.handle)
+		}
 		return
 	}
 
 	// Stage 1: route computation + output VC allocation for front heads.
-	for p := Port(0); p < NumPorts; p++ {
-		for v := range r.in[p] {
-			vc := &r.in[p][v]
-			if len(vc.buf) == 0 || !vc.buf[0].head() {
-				continue
-			}
-			pkt := vc.buf[0].pkt
-			if !vc.routed {
-				vc.outPort = r.net.mesh.RouteXY(r.ID, pkt.Dst)
-				vc.routed = true
-				vc.headSince = now
-			}
-			if vc.outVC < 0 {
-				lo, hi := r.vcClass(pkt.VNet)
-				for ov := lo; ov < hi; ov++ {
-					if r.outOwner[vc.outPort][ov] == nil {
-						r.outOwner[vc.outPort][ov] = vc
-						vc.outVC = ov
-						break
-					}
+	// Only occupied VCs are visited, in the same ascending (port, vc)
+	// order as a full scan.
+	nvc := r.net.cfg.VCsPerPort
+	for _, s := range r.occ {
+		vc := &r.in[s/nvc][s%nvc]
+		if !vc.buf[0].head() {
+			continue
+		}
+		pkt := vc.buf[0].pkt
+		if !vc.routed {
+			vc.outPort = r.net.mesh.RouteXY(r.ID, pkt.Dst)
+			vc.routed = true
+			vc.headSince = now
+		}
+		if vc.outVC < 0 {
+			lo, hi := r.vcClass(pkt.VNet)
+			for ov := lo; ov < hi; ov++ {
+				if r.outOwner[vc.outPort][ov] == nil {
+					r.outOwner[vc.outPort][ov] = vc
+					vc.outVC = ov
+					break
 				}
 			}
 		}
@@ -207,9 +253,11 @@ func (r *Router) Tick(now sim.Cycle) {
 
 	// Stage 2: switch allocation + traversal. One flit per input port and
 	// one flit per output port per cycle (single crossbar connection each).
+	// The round-robin scan starts at saRR and wraps; restricting it to the
+	// occupied-VC list visits the same candidates in the same order as the
+	// full slot scan.
 	var grantedIn [NumPorts]bool
 	var grantedOut [NumPorts]bool
-	nvc := r.net.cfg.VCsPerPort
 	total := int(NumPorts) * nvc
 	type cand struct {
 		port Port
@@ -218,12 +266,17 @@ func (r *Router) Tick(now sim.Cycle) {
 	// Collect one winner per output port.
 	var winners [NumPorts]cand
 	var hasWinner [NumPorts]bool
-	for i := 0; i < total; i++ {
-		slot := (r.saRR + i) % total
+	nocc := len(r.occ)
+	first := 0
+	for first < nocc && r.occ[first] < r.saRR {
+		first++
+	}
+	for i := 0; i < nocc; i++ {
+		slot := r.occ[(first+i)%nocc]
 		p := Port(slot / nvc)
 		v := slot % nvc
 		vc := &r.in[p][v]
-		if grantedIn[p] || len(vc.buf) == 0 || !vc.routed || vc.outVC < 0 {
+		if grantedIn[p] || !vc.routed || vc.outVC < 0 {
 			continue
 		}
 		f := vc.buf[0]
@@ -260,6 +313,10 @@ func (r *Router) Tick(now sim.Cycle) {
 		}
 	}
 	r.saRR = (r.saRR + 1) % total
+
+	if r.buffered == 0 && len(r.inbox) == 0 && len(r.credits) == 0 {
+		r.net.eng.Sleep(r.handle)
+	}
 }
 
 // agingQuantum is the head-of-line wait that buys one effective priority
@@ -296,6 +353,9 @@ func (r *Router) traverse(now sim.Cycle, p Port, v int) {
 	// so the copy is a few words.
 	n := copy(vc.buf, vc.buf[1:])
 	vc.buf = vc.buf[:n]
+	if n == 0 {
+		r.occRemove(int(p)*r.net.cfg.VCsPerPort + v)
+	}
 	r.buffered--
 	r.Stats.FlitsSwitched++
 	op := vc.outPort
@@ -307,6 +367,7 @@ func (r *Router) traverse(now sim.Cycle, p Port, v int) {
 		r.outCred[op][ov]--
 		nb := r.neighbors[op]
 		nb.inbox = append(nb.inbox, arrival{f: f, port: op.opposite(), vc: ov, at: now + 1})
+		nb.wake()
 		if f.head() {
 			f.pkt.Hops++
 		}
@@ -327,6 +388,7 @@ func (r *Router) returnCredit(now sim.Cycle, p Port, v int) {
 	}
 	nb := r.neighbors[p]
 	nb.credits = append(nb.credits, creditMsg{port: p.opposite(), vc: v, at: now + 1})
+	nb.wake()
 }
 
 // localVCSpace reports the free slots in local input VC v, used by the NI

@@ -121,11 +121,15 @@ func RunTraffic(eng *sim.Engine, n *Network, cfg TrafficConfig) (*TrafficResult,
 		}
 	}
 
-	// Injection process: one Bernoulli trial per node per cycle.
-	injecting := true
-	eng.Register(sim.TickFunc(func(now sim.Cycle) {
-		if !injecting || now >= stopAt {
-			injecting = false
+	// Injection process: one Bernoulli trial per node per cycle, run as a
+	// self-rescheduling event rather than a busy ticker so the engine's
+	// activity-driven scheduler sees a truly idle chip once injection
+	// stops. The final firing lands exactly at stopAt, which also keeps
+	// the idle fast-forward from overshooting the measurement window.
+	var pump func()
+	pump = func() {
+		now := eng.Now()
+		if now >= stopAt {
 			return
 		}
 		for id := 0; id < nodes; id++ {
@@ -142,7 +146,9 @@ func RunTraffic(eng *sim.Engine, n *Network, cfg TrafficConfig) (*TrafficResult,
 				res.Injected++
 			}
 		}
-	}))
+		eng.Schedule(0, pump)
+	}
+	eng.Schedule(0, pump)
 
 	if _, err := eng.Run(stopAt-start+1, func() bool { return eng.Now() >= stopAt }); err != nil {
 		return nil, err

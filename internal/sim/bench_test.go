@@ -39,3 +39,25 @@ func BenchmarkScheduleBurst(b *testing.B) {
 		b.Fatalf("fired %d of %d events", sink, 64*b.N)
 	}
 }
+
+// BenchmarkIdleFastForward measures Run crossing a long idle gap: many
+// registered-but-sleeping tickers and one far-future event. The cost must
+// be independent of the gap length (one jump, not a million empty steps)
+// and must not scale with the number of sleeping components.
+func BenchmarkIdleFastForward(b *testing.B) {
+	e := NewEngine(1)
+	for i := 0; i < 128; i++ {
+		h := e.Register(TickFunc(func(Cycle) {}))
+		e.Sleep(h)
+	}
+	fired := false
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fired = false
+		e.Schedule(1_000_000, func() { fired = true })
+		if _, err := e.Run(2_000_000, func() bool { return fired }); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -3,11 +3,45 @@
 // components, a lightweight future-event scheduler and a seeded random
 // number source.
 //
-// The engine is strictly single-threaded. Every component is ticked once
-// per cycle in registration order, which makes runs bit-reproducible for a
-// given seed and configuration. Components that need to act at a future
-// cycle (timeouts, DRAM completions, thread wake-ups) use Schedule instead
-// of busy-ticking.
+// The engine is strictly single-threaded. Every component in the active
+// set is ticked once per cycle in registration order, which makes runs
+// bit-reproducible for a given seed and configuration. Components that
+// need to act at a future cycle (timeouts, DRAM completions, thread
+// wake-ups) use Schedule instead of busy-ticking.
+//
+// # Activity-driven scheduling
+//
+// Ticking every component every cycle wastes most of the work on a
+// quiescent chip (threads in backoff, everyone waiting on a DRAM event).
+// Register therefore returns a Handle through which a component can take
+// itself out of the per-cycle tick set with Sleep and be put back with
+// Wake. The contract is:
+//
+//   - A component may call Sleep only on itself, and only when ticking it
+//     would be a no-op for every future cycle until one of its wake
+//     conditions occurs (no buffered work, no pending input).
+//   - Whoever hands a sleeping component new work — a neighbouring
+//     component, an event callback, an injection path — must call Wake.
+//     Wake and Sleep are idempotent.
+//   - Components that never call Sleep are permanently active: Register
+//     leaves every component awake, so the protocol is strictly opt-in
+//     and plain busy tickers keep their historical behaviour.
+//
+// Awake components still tick in registration-index order, and a
+// component woken during a tick pass by a lower-index component is ticked
+// in the same pass — exactly the cycle it would have ticked had it never
+// slept. Runs under activity-driven scheduling are therefore
+// bit-identical to always-tick runs as long as components honour the
+// sleep contract; SetAlwaysTick(true) disables the protocol entirely to
+// check precisely that (see the differential tests at the repository
+// root).
+//
+// When the active set is empty, Run fast-forwards the clock directly to
+// the next scheduled event instead of stepping through empty cycles.
+// Run's cond must therefore be a function of simulation state (which only
+// changes on event or tick activity), not of wall-clock-like inspection
+// of Now() at cycles where nothing runs; every caller in this repository
+// satisfies that, keeping fast-forwarded runs cycle-exact.
 package sim
 
 import (
@@ -18,7 +52,7 @@ import (
 // Cycle is a point in simulated time, measured in core clock cycles.
 type Cycle uint64
 
-// Ticker is a component that acts once per simulated cycle.
+// Ticker is a component that acts once per simulated cycle while awake.
 //
 // Tick is called with the current cycle. Components must not assume any
 // particular ordering relative to other components beyond what the system
@@ -33,6 +67,10 @@ type TickFunc func(now Cycle)
 
 // Tick implements Ticker.
 func (f TickFunc) Tick(now Cycle) { f(now) }
+
+// Handle identifies a registered component to Wake and Sleep. Handles are
+// dense indices issued by Register in registration order.
+type Handle int
 
 // event is a scheduled callback.
 type event struct {
@@ -89,14 +127,21 @@ func (h *eventHeap) pop() event {
 	return top
 }
 
-// Engine drives the simulation: it advances the clock, ticks registered
+// Engine drives the simulation: it advances the clock, ticks awake
 // components and fires scheduled events.
 type Engine struct {
 	now     Cycle
 	tickers []Ticker
+	awake   []bool
+	nAwake  int
 	events  eventHeap
 	seq     uint64
 	rng     *rand.Rand
+
+	// alwaysTick disables activity-driven scheduling: Sleep becomes a
+	// no-op and Run never fast-forwards. The reference mode differential
+	// tests compare against.
+	alwaysTick bool
 
 	// Stopped is set by Stop; Run loops exit at the end of the current
 	// cycle once it is set.
@@ -124,14 +169,62 @@ func (e *Engine) Now() Cycle { return e.now }
 // Rand returns the engine's deterministic random source.
 func (e *Engine) Rand() *rand.Rand { return e.rng }
 
-// Register adds a component to the per-cycle tick list. Components are
-// ticked in registration order.
-func (e *Engine) Register(t Ticker) {
+// SetAlwaysTick, when on, makes every registered component tick every
+// cycle regardless of Sleep calls and disables Run's idle fast-forward —
+// the pre-activity-scheduling engine behaviour. It exists to validate
+// that activity-driven runs are bit-identical to always-tick runs.
+func (e *Engine) SetAlwaysTick(on bool) {
+	e.alwaysTick = on
+	if on {
+		for i := range e.awake {
+			e.awake[i] = true
+		}
+		e.nAwake = len(e.tickers)
+	}
+}
+
+// Register adds a component to the tick list and returns its handle.
+// Components are ticked in registration order and start awake.
+func (e *Engine) Register(t Ticker) Handle {
 	if t == nil {
 		panic("sim: Register(nil)")
 	}
 	e.tickers = append(e.tickers, t)
+	e.awake = append(e.awake, true)
+	e.nAwake++
+	return Handle(len(e.tickers) - 1)
 }
+
+// Wake puts the component back into the per-cycle tick set. Idempotent.
+// Anyone handing work to a possibly-sleeping component must call it.
+func (e *Engine) Wake(h Handle) {
+	if !e.awake[h] {
+		e.awake[h] = true
+		e.nAwake++
+	}
+}
+
+// Sleep drops the component from the per-cycle tick set until the next
+// Wake. Idempotent; a no-op in always-tick mode. A component may only
+// sleep itself, and only when ticking it would remain a no-op until a
+// wake condition occurs.
+func (e *Engine) Sleep(h Handle) {
+	if e.alwaysTick {
+		return
+	}
+	if e.awake[h] {
+		e.awake[h] = false
+		e.nAwake--
+	}
+}
+
+// Awake reports whether the component is in the tick set (tests,
+// diagnostics).
+func (e *Engine) Awake(h Handle) bool { return e.awake[h] }
+
+// ActiveTickers reports the current size of the tick set (tests,
+// diagnostics).
+func (e *Engine) ActiveTickers() int { return e.nAwake }
 
 // Schedule arranges for fn to run delay cycles from now, before the tickers
 // of that cycle. A delay of 0 fires at the start of the next cycle: the
@@ -159,25 +252,55 @@ func (e *Engine) ScheduleAt(at Cycle, fn func()) {
 func (e *Engine) Stop() { e.stopped = true }
 
 // Step advances the simulation by exactly one cycle: the clock is
-// incremented, due events fire (in schedule order), then every ticker runs.
+// incremented, due events fire (in schedule order), then every awake
+// ticker runs in registration order. A component woken mid-pass by a
+// lower-index component still ticks this cycle; one woken by a
+// higher-index component ticks from the next cycle, matching when its
+// first non-no-op tick would have landed under always-tick.
 func (e *Engine) Step() {
 	e.now++
 	for len(e.events) > 0 && e.events[0].at <= e.now {
 		ev := e.events.pop()
 		ev.fn()
 	}
-	for _, t := range e.tickers {
-		t.Tick(e.now)
+	if e.nAwake == len(e.tickers) {
+		for _, t := range e.tickers {
+			t.Tick(e.now)
+		}
+		return
+	}
+	for i, t := range e.tickers {
+		if e.awake[i] {
+			t.Tick(e.now)
+		}
 	}
 }
 
 // Run steps the engine until cond reports true (checked after each cycle),
 // Stop is called, or maxCycles elapse. It returns the number of cycles
 // executed and an error if the cycle budget was exhausted first.
+//
+// While the active tick set is empty the clock fast-forwards directly to
+// the next scheduled event (or the budget boundary), skipping cycles in
+// which nothing could run; cond is evaluated at every cycle where any
+// event or tick fires, so state-driven conditions see the exact same
+// cycles they would under always-tick stepping.
 func (e *Engine) Run(maxCycles Cycle, cond func() bool) (Cycle, error) {
 	start := e.now
+	end := start + maxCycles
 	e.stopped = false
-	for e.now-start < maxCycles {
+	for e.now < end {
+		if e.nAwake == 0 && !e.alwaysTick {
+			next := end
+			if len(e.events) > 0 && e.events[0].at < next {
+				next = e.events[0].at
+			}
+			// Land one cycle short so the ordinary Step below performs
+			// the event-firing cycle itself.
+			if next > e.now+1 {
+				e.now = next - 1
+			}
+		}
 		e.Step()
 		if e.stopped || (cond != nil && cond()) {
 			return e.now - start, nil

@@ -117,8 +117,13 @@ func TestEventsBeforeTickers(t *testing.T) {
 }
 
 func TestRunStopsOnCondition(t *testing.T) {
+	// cond must be driven by simulation state (the engine only evaluates
+	// it at cycles where events or ticks run), so the flag flips via a
+	// scheduled event rather than by inspecting Now().
 	e := NewEngine(1)
-	n, err := e.Run(100, func() bool { return e.Now() == 7 })
+	done := false
+	e.Schedule(6, func() { done = true }) // fires at cycle 7
+	n, err := e.Run(100, func() bool { return done })
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -172,6 +177,176 @@ func TestScheduleNilPanics(t *testing.T) {
 		}
 	}()
 	NewEngine(1).Schedule(0, nil)
+}
+
+// countingTicker records the cycles it was ticked and can put itself to
+// sleep after each tick.
+type countingTicker struct {
+	e         *Engine
+	h         Handle
+	ticks     []Cycle
+	sleepEach bool
+}
+
+func (c *countingTicker) Tick(now Cycle) {
+	c.ticks = append(c.ticks, now)
+	if c.sleepEach {
+		c.e.Sleep(c.h)
+	}
+}
+
+func newCounting(e *Engine, sleepEach bool) *countingTicker {
+	c := &countingTicker{e: e, sleepEach: sleepEach}
+	c.h = e.Register(c)
+	return c
+}
+
+func TestSleepDropsTickerUntilWake(t *testing.T) {
+	e := NewEngine(1)
+	c := newCounting(e, true)
+	for i := 0; i < 5; i++ {
+		e.Step()
+	}
+	if len(c.ticks) != 1 || c.ticks[0] != 1 {
+		t.Fatalf("slept ticker ran at %v, want [1]", c.ticks)
+	}
+	if e.Awake(c.h) || e.ActiveTickers() != 0 {
+		t.Fatalf("component still counted awake after Sleep")
+	}
+	// Re-wake: the component must tick again from the next cycle, then
+	// drop out again after its one tick.
+	e.Wake(c.h)
+	for i := 0; i < 3; i++ {
+		e.Step()
+	}
+	if len(c.ticks) != 2 || c.ticks[1] != 6 {
+		t.Fatalf("re-woken ticker ran at %v, want [1 6]", c.ticks)
+	}
+}
+
+func TestWakeFromEventCallbackTicksSameCycle(t *testing.T) {
+	// Events fire before tickers, so a wake issued from an event callback
+	// must tick the component in that same cycle — exactly when its first
+	// productive tick would have landed under always-tick.
+	e := NewEngine(1)
+	c := newCounting(e, true)
+	e.Schedule(9, func() { e.Wake(c.h) }) // fires at cycle 10
+	for i := 0; i < 12; i++ {
+		e.Step()
+	}
+	if len(c.ticks) != 2 || c.ticks[0] != 1 || c.ticks[1] != 10 {
+		t.Fatalf("ticks = %v, want [1 10]", c.ticks)
+	}
+}
+
+func TestRunFastForwardsIdleGapsToNextEvent(t *testing.T) {
+	e := NewEngine(1)
+	c := newCounting(e, true)
+	fired := false
+	e.Schedule(999, func() { fired = true }) // fires at cycle 1000
+	n, err := e.Run(5000, func() bool { return fired })
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if n != 1000 || e.Now() != 1000 {
+		t.Fatalf("ran %d cycles to %d, want exactly 1000", n, e.Now())
+	}
+	if len(c.ticks) != 1 {
+		t.Fatalf("idle ticker ran %d times during fast-forward, want 1", len(c.ticks))
+	}
+}
+
+func TestScheduleDuringFastForward(t *testing.T) {
+	// An event fired at a fast-forwarded cycle schedules a follow-up; the
+	// follow-up must fire at its exact cycle, not be skipped by a stale
+	// jump target.
+	e := NewEngine(1)
+	var fired []Cycle
+	done := false
+	e.Schedule(99, func() {
+		fired = append(fired, e.Now())
+		e.Schedule(49, func() {
+			fired = append(fired, e.Now())
+			done = true
+		})
+	})
+	n, err := e.Run(10_000, func() bool { return done })
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if n != 150 || len(fired) != 2 || fired[0] != 100 || fired[1] != 150 {
+		t.Fatalf("ran %d cycles, events at %v; want 150 cycles, events [100 150]", n, fired)
+	}
+}
+
+func TestStopDuringFastForward(t *testing.T) {
+	e := NewEngine(1)
+	e.Schedule(499, func() { e.Stop() }) // fires at cycle 500
+	n, err := e.Run(10_000, nil)
+	if err != nil || n != 500 {
+		t.Fatalf("ran %d cycles, err=%v; want 500, nil", n, err)
+	}
+}
+
+func TestFastForwardRespectsCycleBudget(t *testing.T) {
+	// A fully idle engine (no events, empty tick set) must exhaust the
+	// budget at exactly the same cycle as per-cycle stepping would.
+	e := NewEngine(1)
+	newCounting(e, true)
+	n, err := e.Run(100, nil)
+	if err == nil {
+		t.Fatal("Run should report budget exhaustion")
+	}
+	if n != 100 || e.Now() != 100 {
+		t.Fatalf("budget exhausted after %d cycles at %d, want 100", n, e.Now())
+	}
+	// An event beyond the budget boundary must not be reached.
+	fired := false
+	e.Schedule(500, func() { fired = true })
+	n, err = e.Run(100, nil)
+	if err == nil || n != 100 || fired {
+		t.Fatalf("ran %d cycles (err=%v, fired=%v); want budget error at 100 with event unfired", n, err, fired)
+	}
+}
+
+func TestAlwaysTickDisablesSleepAndFastForward(t *testing.T) {
+	e := NewEngine(1)
+	e.SetAlwaysTick(true)
+	c := newCounting(e, true) // tries to sleep every tick
+	fired := false
+	e.Schedule(49, func() { fired = true }) // fires at cycle 50
+	n, err := e.Run(1000, func() bool { return fired })
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if n != 50 {
+		t.Fatalf("ran %d cycles, want 50", n)
+	}
+	if len(c.ticks) != 50 {
+		t.Fatalf("always-tick component ran %d times, want every one of 50 cycles", len(c.ticks))
+	}
+}
+
+func TestWakeFromLowerIndexTicksSameCycle(t *testing.T) {
+	// Component A (registered first) wakes sleeping component B mid-pass:
+	// B must tick in the same cycle, matching always-tick behaviour where
+	// B's tick runs after A's every cycle.
+	e := NewEngine(1)
+	b := &countingTicker{e: e, sleepEach: true}
+	var aTicks []Cycle
+	e.Register(TickFunc(func(now Cycle) {
+		aTicks = append(aTicks, now)
+		if now == 3 {
+			e.Wake(b.h)
+		}
+	}))
+	b.h = e.Register(b)
+	for i := 0; i < 5; i++ {
+		e.Step()
+	}
+	if len(b.ticks) != 2 || b.ticks[0] != 1 || b.ticks[1] != 3 {
+		t.Fatalf("b ticks = %v, want [1 3] (same-cycle wake from lower index)", b.ticks)
+	}
 }
 
 // TestEventHeapOrdering property-checks that events always fire in
