@@ -27,7 +27,7 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "", "comma-separated figure list: t1,2,7,8,9,10,11,12,13,14,15,abl")
+		fig     = flag.String("fig", "", "comma-separated figure list: t1,2,7,8,9,10,11,12,13,14,15,abl,res")
 		all     = flag.Bool("all", false, "run every figure")
 		quick   = flag.Bool("quick", false, "smaller runs (for smoke testing)")
 		full    = flag.Bool("full13", false, "run Figure 13 over all 24 programs instead of 9")
@@ -36,6 +36,9 @@ func main() {
 		seeds   = flag.Int("seeds", 1, "seeds to average over (figures 11/12)")
 		workers = flag.Int("workers", 0, "concurrent simulations per sweep (0 = GOMAXPROCS)")
 		compat  = flag.Bool("compat", false, "always-tick engine mode (slow reference scheduler; identical output)")
+		fRate   = flag.Float64("faultrate", 0, "combined transient link/port fault rate (0 = faults off)")
+		fSeed   = flag.Int64("faultseed", 0, "fault injector seed (0 = derived from -seed)")
+		wdog    = flag.Int64("watchdog", 0, "liveness watchdog window in cycles (0 = default, <0 = off)")
 		out     = flag.String("out", "", "directory for CSV exports (suite + RTT histograms)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write an allocation profile to this file on exit")
@@ -71,7 +74,8 @@ func main() {
 		}()
 	}
 
-	o := experiments.Options{Scale: *scale, Seed: *seed, Seeds: *seeds, Quick: *quick, Workers: *workers, Compat: *compat}
+	o := experiments.Options{Scale: *scale, Seed: *seed, Seeds: *seeds, Quick: *quick, Workers: *workers, Compat: *compat,
+		FaultRate: *fRate, FaultSeed: *fSeed, WatchdogWindow: *wdog}
 	// Stderr so the figure tables on stdout stay byte-comparable across runs.
 	fmt.Fprintf(os.Stderr, "[inpgbench: %d workers]\n", runner.Workers(*workers))
 	want := map[string]bool{}
@@ -175,6 +179,16 @@ func main() {
 	})
 	show("15", func() (string, error) {
 		r, err := experiments.Fig15(o)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	})
+	// The resilience sweep is not a paper figure (and is excluded from
+	// -all so fault-free suite output stays byte-comparable): it charts
+	// CS throughput against injected fault rates for every mechanism.
+	show("res", func() (string, error) {
+		r, err := experiments.Resilience(o)
 		if err != nil {
 			return "", err
 		}

@@ -12,12 +12,14 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
 	"inpg"
 	"inpg/internal/experiments"
+	"inpg/internal/fault"
 	"inpg/internal/report"
 	"inpg/internal/runner"
 	"inpg/internal/workload"
@@ -35,6 +37,9 @@ func main() {
 		brs      = flag.Int("bigrouters", -1, "big routers for iNPG (-1 = half the nodes)")
 		barrier  = flag.Int("barrier", 0, "locking barrier table entries (0 = default 16)")
 		seed     = flag.Int64("seed", 1, "random seed")
+		fRate    = flag.Float64("faultrate", 0, "combined transient link/port fault rate (0 = faults off)")
+		fSeed    = flag.Int64("faultseed", 0, "fault injector seed (0 = derived from -seed)")
+		wdog     = flag.Int64("watchdog", 0, "liveness watchdog window in cycles (0 = default, <0 = off)")
 		seeds    = flag.Int("seeds", 1, "run this many consecutive seeds and report the spread")
 		workers  = flag.Int("workers", 0, "concurrent simulations for -seeds (0 = GOMAXPROCS)")
 		verbose  = flag.Bool("v", false, "print per-thread breakdown")
@@ -74,6 +79,14 @@ func main() {
 	cfg.MeshWidth, cfg.MeshHeight = *mesh, *mesh
 	cfg.BigRouters = *brs
 	cfg.BarrierEntries = *barrier
+	cfg.WatchdogWindow = *wdog
+	if *fRate > 0 {
+		fs := *fSeed
+		if fs == 0 {
+			fs = *seed ^ 0x66a0_17fa
+		}
+		cfg.Fault = fault.AtRate(*fRate, fs)
+	}
 
 	if *seeds > 1 {
 		if *asJSON {
@@ -86,7 +99,16 @@ func main() {
 	sys, err := inpg.New(cfg)
 	fatal(err)
 	res, err := sys.Run()
-	fatal(err)
+	if err != nil {
+		// A failed run carries a full diagnosis: dump it before exiting so
+		// the wedged state (dead links, stuck transactions, blocked
+		// threads) is visible, not just the headline.
+		var simErr *inpg.SimulationError
+		if errors.As(err, &simErr) && simErr.Diag != nil {
+			fmt.Fprint(os.Stderr, simErr.Diag.String())
+		}
+		fatal(err)
+	}
 
 	if *asJSON {
 		fatal(report.WriteJSON(os.Stdout, report.Summarize(cfg, res)))
@@ -108,6 +130,10 @@ func main() {
 	fmt.Printf("net latency    %.1f cycles mean\n", res.NetMeanLatency)
 	if res.Stopped > 0 {
 		fmt.Printf("iNPG           %d lock requests stopped, %d early invalidations\n", res.Stopped, res.EarlyInvs)
+	}
+	if res.FaultsInjected > 0 || res.PortStallHits > 0 {
+		fmt.Printf("faults         %d injected, %d retransmissions, %d links died, %d port stalls\n",
+			res.FaultsInjected, res.LinkRetries, res.LinkFailures, res.PortStallHits)
 	}
 	if *verbose {
 		fmt.Println("\nper-thread breakdown:")

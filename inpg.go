@@ -35,6 +35,7 @@ import (
 	"inpg/internal/chipmodel"
 	"inpg/internal/coherence"
 	"inpg/internal/cpu"
+	"inpg/internal/fault"
 	"inpg/internal/lock"
 	"inpg/internal/noc"
 	"inpg/internal/sim"
@@ -195,6 +196,24 @@ type Config struct {
 	TraceCapacity int
 	TraceAddr     uint64
 
+	// Fault configures deterministic fault injection on mesh links and
+	// router ports (package internal/fault): flit drops/corruptions
+	// absorbed by link-level retransmission, and transient port stalls.
+	// The zero value disables injection entirely and keeps runs
+	// byte-identical to a fault-free build. Fault decisions are keyed by
+	// Fault.Seed independently of Seed, and are deterministic for a given
+	// (Seed, Fault.Seed) regardless of how many runner workers execute
+	// sibling simulations.
+	Fault fault.Config
+
+	// WatchdogWindow arms the liveness watchdog: when no packet delivery,
+	// directory transaction boundary, L1 miss completion or thread phase
+	// change occurs for this many cycles, Run returns a *SimulationError
+	// carrying a Diagnostics snapshot of the wedged state — long before
+	// MaxCycles. 0 selects the default (DefaultWatchdogWindow); negative
+	// disables the watchdog.
+	WatchdogWindow int64
+
 	// AlwaysTick disables the engine's activity-driven scheduling: every
 	// router and NI ticks every cycle and idle stretches are stepped one
 	// cycle at a time, the pre-optimization behaviour. Runs are
@@ -301,9 +320,16 @@ func New(cfg Config) (*System, error) {
 
 	eng := sim.NewEngine(cfg.Seed)
 	eng.SetAlwaysTick(cfg.AlwaysTick)
+	switch {
+	case cfg.WatchdogWindow > 0:
+		eng.SetWatchdog(sim.Cycle(cfg.WatchdogWindow))
+	case cfg.WatchdogWindow == 0:
+		eng.SetWatchdog(DefaultWatchdogWindow)
+	}
 	fcfg := coherence.DefaultFabricConfig()
 	fcfg.Net.Mesh = noc.Mesh{Width: cfg.MeshWidth, Height: cfg.MeshHeight}
 	fcfg.Net.PriorityArb = cfg.Mechanism.usesOCOR()
+	fcfg.Net.Fault = cfg.Fault
 	fcfg.Dir.DisableAckOverlap = cfg.DisableAckOverlap
 	fab, err := coherence.NewFabric(eng, fcfg)
 	if err != nil {
@@ -334,14 +360,22 @@ func New(cfg Config) (*System, error) {
 	alloc := lock.NewAddrAlloc(fab.Homes, fab.Mem)
 	if cfg.LockCount > 1 {
 		locks := make([]cpu.Lock, cfg.LockCount)
-		locks[0] = lock.New(lock.Kind(cfg.Lock), alloc, home, lcfg)
-		for i := 1; i < cfg.LockCount; i++ {
-			h := noc.NodeID((int(home) + i*7) % nodes)
-			locks[i] = lock.New(lock.Kind(cfg.Lock), alloc, h, lcfg)
+		for i := 0; i < cfg.LockCount; i++ {
+			h := home
+			if i > 0 {
+				h = noc.NodeID((int(home) + i*7) % nodes)
+			}
+			locks[i], err = lock.New(lock.Kind(cfg.Lock), alloc, h, lcfg)
+			if err != nil {
+				return nil, err
+			}
 		}
 		s.lockImpl = &lockSet{locks: locks, held: make([]cpu.Lock, threads)}
 	} else {
-		s.lockImpl = lock.New(lock.Kind(cfg.Lock), alloc, home, lcfg)
+		s.lockImpl, err = lock.New(lock.Kind(cfg.Lock), alloc, home, lcfg)
+		if err != nil {
+			return nil, err
+		}
 	}
 	var barrier *lock.Barrier
 	if cfg.BarrierEvery > 0 {
@@ -478,6 +512,16 @@ type Results struct {
 	EarlyInvs uint64
 	Stopped   uint64
 
+	// Link-layer fault counters, all zero when fault injection is disabled:
+	// FaultsInjected flit transmissions were dropped or corrupted on links,
+	// LinkRetries retransmission attempts recovered them, LinkFailures
+	// links were declared dead (bounded retries exhausted) and
+	// PortStallHits switch grants were blocked by transient port stalls.
+	FaultsInjected uint64
+	LinkRetries    uint64
+	LinkFailures   uint64
+	PortStallHits  uint64
+
 	// Energy estimates the run's dynamic NoC energy from measured
 	// switching activity and the paper's Figure 7 power ratings.
 	Energy chipmodel.EnergyReport
@@ -507,13 +551,7 @@ func (s *System) Run() (*Results, error) {
 		return true
 	})
 	if err != nil {
-		stuck := 0
-		for _, th := range s.threads {
-			if !th.Done() {
-				stuck++
-			}
-		}
-		return nil, fmt.Errorf("inpg: %d/%d threads unfinished: %w", stuck, len(s.threads), err)
+		return nil, s.wrapError(err)
 	}
 	return s.collect(), nil
 }
@@ -553,13 +591,19 @@ func (s *System) collect() *Results {
 	}
 	act := chipmodel.Activity{Cycles: r.Runtime, Generated: r.EarlyInvs}
 	for id := 0; id < s.fab.Homes.Nodes; id++ {
-		flits := s.fab.Net.Router(noc.NodeID(id)).Stats.FlitsSwitched
+		rt := s.fab.Net.Router(noc.NodeID(id))
+		flits := rt.Stats.FlitsSwitched
 		if bigNodes[noc.NodeID(id)] {
 			act.BigFlits += flits
 		} else {
 			act.NormalFlits += flits
 		}
+		r.LinkRetries += rt.Stats.LinkRetries
+		r.LinkFailures += rt.Stats.LinkFailures
 	}
+	fst := s.fab.Net.FaultStats()
+	r.FaultsInjected = fst.FlitsDropped + fst.FlitsCorrupted + fst.PermanentHits
+	r.PortStallHits = fst.PortStallHits
 	for _, g := range s.gens {
 		act.Generated += g.Stats.AcksRelayed
 	}

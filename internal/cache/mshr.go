@@ -1,5 +1,7 @@
 package cache
 
+import "sort"
+
 // MSHR is a miss status holding register file: it tracks outstanding
 // transactions per block address and bounds their number, mirroring the
 // 32-MSHR L1/L2 configuration in the paper's Table 1.
@@ -22,6 +24,10 @@ type MSHREntry struct {
 	// Invalidated records an invalidation that raced with the fill: the
 	// response completes the operation but must not install the line.
 	Invalidated bool
+	// Seq is the transaction sequence number stamped by the controller;
+	// responses echoing a different Seq are stale and must not complete
+	// this entry.
+	Seq uint64
 	// Aux carries controller-specific context (e.g. the pending CPU op).
 	Aux any
 }
@@ -51,6 +57,17 @@ func (m *MSHR) Get(addr uint64) *MSHREntry { return m.entries[addr] }
 
 // Free releases addr's entry.
 func (m *MSHR) Free(addr uint64) { delete(m.entries, addr) }
+
+// Entries returns every outstanding entry in ascending address order, for
+// deterministic diagnostic snapshots.
+func (m *MSHR) Entries() []*MSHREntry {
+	out := make([]*MSHREntry, 0, len(m.entries))
+	for _, e := range m.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
 
 // Len reports outstanding entries.
 func (m *MSHR) Len() int { return len(m.entries) }

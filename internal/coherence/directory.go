@@ -89,6 +89,8 @@ type DirStats struct {
 	EarlyRecsUsed         uint64
 	EarlyAckBeforeService uint64
 	RelayedAckHits        uint64 // winner waits satisfied by relayed early acks
+	StaleUnblocks         uint64 // unblocks whose Seq outlived their transaction
+	StaleCopyBacks        uint64 // copy-backs whose Seq outlived their transaction
 }
 
 // DirConfig configures a directory/L2-bank controller.
@@ -198,7 +200,7 @@ func (d *Dir) handle(m *Message) {
 		ln.early[m.Requestor] = &earlyRec{token: m.Token}
 		req := &Message{
 			Type: MsgGetX, Addr: m.Addr, From: m.Requestor, Requestor: m.Requestor,
-			LockAddr: m.LockAddr, IsSwap: m.IsSwap, Operand: m.Operand,
+			LockAddr: m.LockAddr, IsSwap: m.IsSwap, Operand: m.Operand, Seq: m.Seq,
 		}
 		d.admit(ln, req)
 	case MsgInvAck:
@@ -208,8 +210,22 @@ func (d *Dir) handle(m *Message) {
 	case MsgCopyBack:
 		d.onCopyBack(ln, m)
 	default:
-		panic(fmt.Sprintf("dir %d: unexpected %v", d.Node, m))
+		d.eng.Fail(&ProtocolError{Node: int(d.Node), Component: "dir",
+			Detail: fmt.Sprintf("unexpected %v", m)})
 	}
+}
+
+// txnStarted and txnEnded bracket every blocking directory transaction.
+// Both are liveness progress for the watchdog: a wedged system — dead link,
+// unreachable home — stops starting and ending transactions.
+func (d *Dir) txnStarted() {
+	d.Stats.TxnStarted++
+	d.eng.NoteProgress()
+}
+
+func (d *Dir) txnEnded() {
+	d.Stats.TxnEnded++
+	d.eng.NoteProgress()
 }
 
 // admit services a request now or queues it behind the active transaction.
@@ -273,7 +289,7 @@ func (d *Dir) servicePutRelease(ln *dirLine, m *Message) {
 	req := m.Requestor
 	ln.busy = true
 	ln.cur = m
-	d.Stats.TxnStarted++
+	d.txnStarted()
 	d.ackWait[m.Addr] = d.eng.Now()
 	ln.value = m.Data
 
@@ -311,8 +327,8 @@ func (d *Dir) serviceGetS(ln *dirLine, m *Message) {
 	case ln.owner != noNode && ln.owner != req:
 		ln.busy = true
 		ln.cur = m
-		d.Stats.TxnStarted++
-		d.send(&Message{Type: MsgFwdGetS, Addr: m.Addr, Requestor: req, Data: ln.value, LockAddr: m.LockAddr}, ln.owner, respPriority)
+		d.txnStarted()
+		d.send(&Message{Type: MsgFwdGetS, Addr: m.Addr, Requestor: req, Data: ln.value, LockAddr: m.LockAddr, Seq: m.Seq}, ln.owner, respPriority)
 	case ln.owner == noNode && len(ln.sharers) == 0 && !m.LockAddr:
 		// Exclusive grant for ordinary cold reads. Lock-word reads are
 		// always granted Shared: an exclusive copy would let the first
@@ -320,12 +336,12 @@ func (d *Dir) serviceGetS(ln *dirLine, m *Message) {
 		// the competition the protocol is supposed to arbitrate.
 		ln.busy = true
 		ln.cur = m
-		d.Stats.TxnStarted++
+		d.txnStarted()
 		ln.owner = req
-		d.send(&Message{Type: MsgData, Addr: m.Addr, Data: ln.value, Requestor: req, Excl: true}, req, respPriority)
+		d.send(&Message{Type: MsgData, Addr: m.Addr, Data: ln.value, Requestor: req, Excl: true, Seq: m.Seq}, req, respPriority)
 	default:
 		ln.sharers[req] = struct{}{}
-		d.send(&Message{Type: MsgData, Addr: m.Addr, Data: ln.value, Requestor: req, Peek: m.LockAddr}, req, respPriority)
+		d.send(&Message{Type: MsgData, Addr: m.Addr, Data: ln.value, Requestor: req, Peek: m.LockAddr, Seq: m.Seq}, req, respPriority)
 	}
 }
 
@@ -333,6 +349,12 @@ func (d *Dir) serviceGetS(ln *dirLine, m *Message) {
 // the old owner and the requester of the active forward both become
 // sharers, nobody owns the line, and the transaction ends.
 func (d *Dir) onCopyBack(ln *dirLine, m *Message) {
+	if ln.busy && ln.cur != nil && m.Seq != ln.cur.Seq {
+		// A copy-back from an already-ended forward must not end the
+		// active transaction (or clobber its ownership bookkeeping).
+		d.Stats.StaleCopyBacks++
+		return
+	}
 	d.Stats.CopyBacks++
 	ln.value = m.Data
 	ln.sharers[m.From] = struct{}{}
@@ -341,7 +363,7 @@ func (d *Dir) onCopyBack(ln *dirLine, m *Message) {
 		ln.sharers[ln.cur.Requestor] = struct{}{}
 		ln.busy = false
 		ln.cur = nil
-		d.Stats.TxnEnded++
+		d.txnEnded()
 		d.drain(ln)
 	}
 }
@@ -366,7 +388,7 @@ func (d *Dir) serviceGetX(ln *dirLine, m *Message) {
 	if m.IsSwap && ln.owner == noNode && ln.value == m.Operand {
 		d.Stats.SwapFails++
 		ln.sharers[req] = struct{}{}
-		d.send(&Message{Type: MsgData, Addr: m.Addr, Data: ln.value, Requestor: req, Peek: true}, req, respPriority)
+		d.send(&Message{Type: MsgData, Addr: m.Addr, Data: ln.value, Requestor: req, Peek: true, Seq: m.Seq}, req, respPriority)
 		return
 	}
 	if m.IsSwap && ln.owner != noNode && ln.owner != req {
@@ -379,24 +401,28 @@ func (d *Dir) serviceGetX(ln *dirLine, m *Message) {
 		d.Stats.LockPeeks++
 		ln.busy = true
 		ln.cur = m
-		d.Stats.TxnStarted++
-		d.send(&Message{Type: MsgLockProbe, Addr: m.Addr, Requestor: req, Operand: m.Operand, LockAddr: m.LockAddr}, ln.owner, respPriority)
-		// An owner implies no sharers: no acks needed either way.
+		d.txnStarted()
+		d.send(&Message{Type: MsgLockProbe, Addr: m.Addr, Requestor: req, Operand: m.Operand, LockAddr: m.LockAddr, Seq: m.Seq}, ln.owner, respPriority)
+		// An owner implies no sharers: no acks needed either way. The
+		// eager AcksComplete carries the transaction Seq: if the probe is
+		// served with a shared copy instead, this message goes unconsumed,
+		// and the Seq match is what keeps the floater from completing a
+		// later transaction by the same requester.
 		ln.owner = req
-		d.send(&Message{Type: MsgAcksComplete, Addr: m.Addr, Requestor: req}, req, respPriority)
+		d.send(&Message{Type: MsgAcksComplete, Addr: m.Addr, Requestor: req, Seq: m.Seq}, req, respPriority)
 		return
 	}
 
 	ln.busy = true
 	ln.cur = m
-	d.Stats.TxnStarted++
+	d.txnStarted()
 	d.ackWait[m.Addr] = d.eng.Now()
 
 	if ln.owner != noNode && ln.owner != req {
 		d.Stats.ForwardedGetX++
-		d.send(&Message{Type: MsgFwdGetX, Addr: m.Addr, Requestor: req, Data: ln.value, LockAddr: m.LockAddr}, ln.owner, respPriority)
+		d.send(&Message{Type: MsgFwdGetX, Addr: m.Addr, Requestor: req, Data: ln.value, LockAddr: m.LockAddr, Seq: m.Seq}, ln.owner, respPriority)
 	} else {
-		d.send(&Message{Type: MsgDataExcl, Addr: m.Addr, Data: ln.value, Requestor: req, Peek: m.LockAddr}, req, respPriority)
+		d.send(&Message{Type: MsgDataExcl, Addr: m.Addr, Data: ln.value, Requestor: req, Peek: m.LockAddr, Seq: m.Seq}, req, respPriority)
 	}
 
 	for _, s := range sortedSharers(ln.sharers) {
@@ -543,14 +569,14 @@ func (d *Dir) finishAcks(ln *dirLine, addr uint64) {
 	}
 	switch ln.cur.Type {
 	case MsgGetX:
-		d.send(&Message{Type: MsgAcksComplete, Addr: addr, Requestor: ln.cur.Requestor}, ln.cur.Requestor, respPriority)
+		d.send(&Message{Type: MsgAcksComplete, Addr: addr, Requestor: ln.cur.Requestor, Seq: ln.cur.Seq}, ln.cur.Requestor, respPriority)
 	case MsgPutRelease:
 		// The recall storm is over: acknowledge the releaser and free the
 		// line (no unblock follows a release).
-		d.send(&Message{Type: MsgReleaseAck, Addr: addr, Requestor: ln.cur.Requestor}, ln.cur.Requestor, respPriority)
+		d.send(&Message{Type: MsgReleaseAck, Addr: addr, Requestor: ln.cur.Requestor, Seq: ln.cur.Seq}, ln.cur.Requestor, respPriority)
 		ln.busy = false
 		ln.cur = nil
-		d.Stats.TxnEnded++
+		d.txnEnded()
 		d.drain(ln)
 	}
 }
@@ -561,9 +587,16 @@ func (d *Dir) onUnblock(ln *dirLine, m *Message) {
 	if !ln.busy {
 		return
 	}
+	if ln.cur != nil && (m.Requestor != ln.cur.Requestor || m.Seq != ln.cur.Seq) {
+		// An unblock for a transaction that already ended must not end
+		// the one now active — it may still be collecting acks, and
+		// ending it here would strand the wait set.
+		d.Stats.StaleUnblocks++
+		return
+	}
 	ln.busy = false
 	ln.cur = nil
-	d.Stats.TxnEnded++
+	d.txnEnded()
 	d.drain(ln)
 }
 

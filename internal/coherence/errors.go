@@ -1,0 +1,20 @@
+package coherence
+
+import "fmt"
+
+// ProtocolError reports a coherence protocol violation — a message a
+// controller cannot legally receive in its current state, or a non-protocol
+// packet delivered to a coherence sink. Controllers report it through
+// sim.Engine.Fail instead of panicking, so a violation (reachable under
+// fault injection or fuzzing) surfaces as a structured error from Run with
+// the simulation state still inspectable for diagnostics.
+type ProtocolError struct {
+	Node      int    // node the violation was observed at
+	Component string // "l1", "dir" or "sink"
+	Detail    string // what arrived and why it is illegal
+}
+
+// Error implements error.
+func (e *ProtocolError) Error() string {
+	return fmt.Sprintf("coherence: %s %d: %s", e.Component, e.Node, e.Detail)
+}

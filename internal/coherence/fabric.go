@@ -67,13 +67,14 @@ func NewFabric(eng *sim.Engine, cfg FabricConfig) (*Fabric, error) {
 		dir := NewDir(eng, noc.NodeID(id), ni, mem, cfg.Dir)
 		f.L1s = append(f.L1s, l1)
 		f.Dirs = append(f.Dirs, dir)
-		ni.SetSink(demux{l1, dir})
+		ni.SetSink(demux{eng, l1, dir})
 	}
 	return f, nil
 }
 
 // demux routes delivered coherence packets to the L1 or the directory.
 type demux struct {
+	eng *sim.Engine
 	l1  *L1
 	dir *Dir
 }
@@ -82,7 +83,9 @@ type demux struct {
 func (d demux) Receive(now sim.Cycle, p *noc.Packet) {
 	m, ok := p.Payload.(*Message)
 	if !ok {
-		panic(fmt.Sprintf("coherence: non-protocol packet %v delivered", p))
+		d.eng.Fail(&ProtocolError{Node: int(d.l1.Node), Component: "sink",
+			Detail: fmt.Sprintf("non-protocol packet %v delivered", p)})
+		return
 	}
 	if m.ToDir {
 		d.dir.Receive(now, m)

@@ -1,10 +1,12 @@
 package coherence
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
 	"inpg/internal/cache"
+	"inpg/internal/fault"
 	"inpg/internal/memory"
 	"inpg/internal/noc"
 	"inpg/internal/sim"
@@ -39,9 +41,14 @@ const (
 
 func fuzzFabric(t *testing.T, seed int64) *Fabric {
 	t.Helper()
+	return fuzzFaultedFabric(t, seed, fault.Config{})
+}
+
+func fuzzFaultedFabric(t *testing.T, seed int64, fc fault.Config) *Fabric {
+	t.Helper()
 	eng := sim.NewEngine(seed)
 	cfg := FabricConfig{
-		Net: noc.Config{Mesh: noc.Mesh{Width: 4, Height: 4}, VCsPerPort: 6, VCDepth: 4},
+		Net: noc.Config{Mesh: noc.Mesh{Width: 4, Height: 4}, VCsPerPort: 6, VCDepth: 4, Fault: fc},
 		L1:  L1Config{Cache: cache.Config{SizeBytes: 4096, Ways: 4, BlockBytes: 128}, MSHRs: 8, HitLatency: 2},
 		Dir: DirConfig{L2Latency: 6},
 		Mem: memory.Config{Controllers: 4, Latency: 20, MaxOutstanding: 16},
@@ -65,7 +72,58 @@ func TestProtocolFuzzMixedOps(t *testing.T) {
 }
 
 func fuzzOnce(t *testing.T, seed int64) {
-	f := fuzzFabric(t, seed)
+	fuzzRun(t, seed, 0)
+}
+
+// TestProtocolFuzzWithFaults repeats the mixed-op fuzz under transient link
+// and port faults: the retransmission layer must keep every protocol
+// guarantee intact. Every run completes (and passes the full invariant
+// suite) or returns a structured stall diagnosis naming a dead link — never
+// a panic, never a silent crawl to the cycle budget.
+func TestProtocolFuzzWithFaults(t *testing.T) {
+	type cse struct {
+		seed int64
+		rate float64
+	}
+	cases := []cse{{1, 0.02}, {2, 0.05}, {3, 0.10}, {5, 0.02}, {8, 0.08}}
+	if testing.Short() {
+		cases = cases[:2]
+	}
+	for _, c := range cases {
+		c := c
+		t.Run("", func(t *testing.T) { fuzzRun(t, c.seed, c.rate) })
+	}
+}
+
+// FuzzCoherence is the native fuzz target: the engine seed and fault rate
+// come from the fuzzer, and any input must end in a clean completion (with
+// invariants) or a structured, diagnosed error. Run with
+// go test -fuzz=FuzzCoherence ./internal/coherence.
+func FuzzCoherence(f *testing.F) {
+	f.Add(int64(1), uint8(0))
+	f.Add(int64(7), uint8(3))
+	f.Add(int64(42), uint8(12))
+	// Regression: this input once wedged the home directory — a floating
+	// AcksComplete from the lock-probe fast path, delayed by retransmission
+	// backoff, completed a later transaction by the same requester and
+	// stranded its ack wait. Fixed by Seq matching (Message.Seq).
+	f.Add(int64(186), uint8(0x1d))
+	f.Fuzz(func(t *testing.T, seed int64, ratePct uint8) {
+		fuzzRun(t, seed, float64(ratePct%16)/100)
+	})
+}
+
+// fuzzRun drives the mixed-op fuzz at the given combined fault rate. At
+// rate 0 it must complete and satisfy every invariant; at nonzero rates a
+// watchdog-diagnosed stall with a dead link is also an accepted outcome
+// (bounded retransmission is allowed to declare a link failed), but any
+// error without that diagnosis — or any panic — is a bug.
+func fuzzRun(t *testing.T, seed int64, faultRate float64) {
+	fc := fault.AtRate(faultRate, seed^0x5bf03635)
+	f := fuzzFaultedFabric(t, seed, fc)
+	if faultRate > 0 {
+		f.Eng.SetWatchdog(1_000_000)
+	}
 	rng := rand.New(rand.NewSource(seed * 7919))
 
 	// Hot addresses: a few mixed-use lines plus one FAA-only counter.
@@ -115,8 +173,22 @@ func fuzzOnce(t *testing.T, seed int64) {
 		step(0)
 	}
 
-	if _, err := f.Eng.Run(5_000_000, func() bool { return finished == cores }); err != nil {
-		t.Fatalf("seed %d: protocol stalled: %v (finished %d/%d)", seed, err, finished, cores)
+	if _, err := f.Eng.Run(20_000_000, func() bool { return finished == cores }); err != nil {
+		var stall *sim.StallError
+		if faultRate > 0 && errors.As(err, &stall) {
+			// A stall under fault injection is legitimate only when bounded
+			// retransmission actually declared a link dead; the watchdog must
+			// have reported it long before the cycle budget, and the network
+			// diagnosis must name the failed link.
+			dead := f.Net.Diagnostics(f.Eng.Now()).DeadLinks()
+			if len(dead) == 0 {
+				t.Fatalf("seed %d rate %.2f: stalled with no dead link: %v (finished %d/%d)",
+					seed, faultRate, err, finished, cores)
+			}
+			return
+		}
+		t.Fatalf("seed %d rate %.2f: protocol stalled: %v (finished %d/%d)",
+			seed, faultRate, err, finished, cores)
 	}
 
 	// Quiesce the network, then check invariants and reader agreement.

@@ -62,6 +62,7 @@ type L1Stats struct {
 	SwapsFailed            uint64 // atomics completed as failed via shared copies
 	ProbesServed           uint64 // losing swaps this owner answered directly
 	ProbesFailed           uint64 // probes that missed (lock state changed)
+	StaleResponsesIgnored  uint64 // responses whose Seq outlived their transaction
 	LockStallCycles        uint64 // cycles lock-flagged ops spent outstanding
 	TotalStallCycles       uint64
 }
@@ -99,6 +100,9 @@ type L1 struct {
 	// forwards can still be serviced.
 	evict map[uint64]uint64
 
+	// seq stamps each transaction; responses must echo it (Message.Seq).
+	seq uint64
+
 	Stats L1Stats
 }
 
@@ -122,6 +126,13 @@ func NewL1(eng *sim.Engine, node noc.NodeID, ni *noc.NI, homes HomeMap, cfg L1Co
 
 // Cache exposes the underlying array for invariant checkers and tests.
 func (l *L1) Cache() *cache.Cache { return l.arr }
+
+// nextSeq stamps a new transaction. Starting at 1 keeps the zero value
+// distinct from any real transaction.
+func (l *L1) nextSeq() uint64 {
+	l.seq++
+	return l.seq
+}
 
 // send wraps m in a packet and injects it.
 func (l *L1) send(m *Message, dst noc.NodeID, priority int) {
@@ -154,8 +165,9 @@ func (l *L1) Load(addr uint64, lock bool, priority int, cb func(uint64)) {
 		return
 	}
 	e.State = trIS
+	e.Seq = l.nextSeq()
 	e.Aux = &pendingOp{kind: opLoad, loadCB: cb, issued: l.eng.Now(), lock: lock}
-	l.send(&Message{Type: MsgGetS, Addr: addr, Requestor: l.Node, ToDir: true, LockAddr: lock}, l.homes.Home(addr), priority)
+	l.send(&Message{Type: MsgGetS, Addr: addr, Requestor: l.Node, ToDir: true, LockAddr: lock, Seq: e.Seq}, l.homes.Home(addr), priority)
 }
 
 // Store issues a write. cb fires when the write is globally performed.
@@ -191,8 +203,9 @@ func (l *L1) StoreRelease(addr uint64, val uint64, lock bool, priority int, cb f
 		return
 	}
 	e.State = trREL
+	e.Seq = l.nextSeq()
 	e.Aux = &pendingOp{kind: opStore, a: val, storeCB: cb, issued: l.eng.Now(), lock: lock}
-	l.send(&Message{Type: MsgPutRelease, Addr: addr, Requestor: l.Node, Data: val, ToDir: true, LockAddr: lock}, l.homes.Home(addr), priority)
+	l.send(&Message{Type: MsgPutRelease, Addr: addr, Requestor: l.Node, Data: val, ToDir: true, LockAddr: lock, Seq: e.Seq}, l.homes.Home(addr), priority)
 }
 
 // Atomic issues a read-modify-write. All atomics are lock operations: the
@@ -224,8 +237,9 @@ func (l *L1) issueGetX(addr uint64, op *pendingOp, lockAddr bool, priority int) 
 		return
 	}
 	e.State = trIM
+	e.Seq = l.nextSeq()
 	e.Aux = op
-	m := &Message{Type: MsgGetX, Addr: addr, Requestor: l.Node, ToDir: true, LockAddr: lockAddr}
+	m := &Message{Type: MsgGetX, Addr: addr, Requestor: l.Node, ToDir: true, LockAddr: lockAddr, Seq: e.Seq}
 	if op.kind == opAtomic && op.atomic == Swap {
 		m.IsSwap = true
 		m.Operand = op.a
@@ -274,7 +288,8 @@ func (l *L1) Receive(now sim.Cycle, m *Message) {
 		// A stray relayed ack (its barrier expired mid-flight); harmless.
 		l.Stats.StaleInvsIgnored++
 	default:
-		panic(fmt.Sprintf("l1 %d: unexpected %v", l.Node, m))
+		l.eng.Fail(&ProtocolError{Node: int(l.Node), Component: "l1",
+			Detail: fmt.Sprintf("unexpected %v", m)})
 	}
 }
 
@@ -286,6 +301,10 @@ func (l *L1) onData(now sim.Cycle, m *Message) {
 	e := l.mshr.Get(m.Addr)
 	if e == nil {
 		return // stale response
+	}
+	if m.Seq != e.Seq {
+		l.Stats.StaleResponsesIgnored++
+		return // response to an earlier transaction on this address
 	}
 	op := e.Aux.(*pendingOp)
 	switch e.State {
@@ -301,12 +320,14 @@ func (l *L1) onData(now sim.Cycle, m *Message) {
 		l.mshr.Free(m.Addr)
 		if m.Excl {
 			// Exclusive grants block the home until this unblock.
-			l.send(&Message{Type: MsgUnblock, Addr: m.Addr, Requestor: l.Node, ToDir: true}, l.homes.Home(m.Addr), respPriority)
+			l.send(&Message{Type: MsgUnblock, Addr: m.Addr, Requestor: l.Node, ToDir: true, Seq: e.Seq}, l.homes.Home(m.Addr), respPriority)
 		}
 		op.loadCB(m.Data)
 	case trIM:
 		if op.kind != opAtomic || op.atomic != Swap {
-			panic(fmt.Sprintf("l1 %d: shared data for non-swap exclusive request", l.Node))
+			l.eng.Fail(&ProtocolError{Node: int(l.Node), Component: "l1",
+				Detail: fmt.Sprintf("shared data for non-swap exclusive request at %#x", m.Addr)})
+			return
 		}
 		l.Stats.SwapsFailed++
 		if !e.Invalidated {
@@ -324,6 +345,10 @@ func (l *L1) onDataExcl(now sim.Cycle, m *Message) {
 	if e == nil || e.State != trIM {
 		return
 	}
+	if m.Seq != e.Seq {
+		l.Stats.StaleResponsesIgnored++
+		return
+	}
 	e.DataReady = true
 	e.PendingData = m.Data
 	l.tryCompleteX(now, m.Addr, e)
@@ -333,6 +358,15 @@ func (l *L1) onDataExcl(now sim.Cycle, m *Message) {
 func (l *L1) onAcksComplete(now sim.Cycle, m *Message) {
 	e := l.mshr.Get(m.Addr)
 	if e == nil || e.State != trIM {
+		return
+	}
+	if m.Seq != e.Seq {
+		// A floating AcksComplete — e.g. from a lock-probe fast path whose
+		// requester completed via a shared copy — must never satisfy a
+		// later transaction's ack wait: consuming it would unblock the
+		// home while it is still collecting invalidation acks and strand
+		// the wait forever.
+		l.Stats.StaleResponsesIgnored++
 		return
 	}
 	e.AcksDone = true
@@ -361,11 +395,13 @@ func (l *L1) tryCompleteX(now sim.Cycle, addr uint64, e *cache.MSHREntry) {
 	case opAtomic:
 		l.insert(addr, cache.Modified, applyAtomic(op.atomic, old, op.a, op.b))
 	default:
-		panic("tryCompleteX: load in trIM")
+		l.eng.Fail(&ProtocolError{Node: int(l.Node), Component: "l1",
+			Detail: fmt.Sprintf("load operation bound to exclusive transaction at %#x", addr)})
+		return
 	}
 	l.finishStall(now, op)
 	l.mshr.Free(addr)
-	l.send(&Message{Type: MsgUnblock, Addr: addr, Requestor: l.Node, ToDir: true}, l.homes.Home(addr), respPriority)
+	l.send(&Message{Type: MsgUnblock, Addr: addr, Requestor: l.Node, ToDir: true, Seq: e.Seq}, l.homes.Home(addr), respPriority)
 	switch op.kind {
 	case opStore:
 		op.storeCB()
@@ -374,8 +410,12 @@ func (l *L1) tryCompleteX(now sim.Cycle, addr uint64, e *cache.MSHREntry) {
 	}
 }
 
-// finishStall accounts outstanding-time statistics for a completed op.
+// finishStall accounts outstanding-time statistics for a completed op. Every
+// miss-path completion is liveness progress: a core whose transaction is
+// stuck behind a dead link or a wedged home stops completing, which is what
+// the watchdog watches for.
 func (l *L1) finishStall(now sim.Cycle, op *pendingOp) {
+	l.eng.NoteProgress()
 	d := uint64(now - op.issued)
 	l.Stats.TotalStallCycles += d
 	if op.lock {
@@ -429,6 +469,10 @@ func (l *L1) onReleaseAck(now sim.Cycle, m *Message) {
 	if e == nil || e.State != trREL {
 		return
 	}
+	if m.Seq != e.Seq {
+		l.Stats.StaleResponsesIgnored++
+		return
+	}
 	op := e.Aux.(*pendingOp)
 	l.finishStall(now, op)
 	l.mshr.Free(m.Addr)
@@ -454,8 +498,8 @@ func (l *L1) onFwdGetS(m *Message) {
 	if line := l.arr.Peek(m.Addr); line != nil {
 		line.State = cache.Shared
 	}
-	l.send(&Message{Type: MsgData, Addr: m.Addr, Data: data, Requestor: m.Requestor, Peek: m.LockAddr}, m.Requestor, respPriority)
-	l.send(&Message{Type: MsgCopyBack, Addr: m.Addr, Data: data, Requestor: m.Requestor, ToDir: true}, l.homes.Home(m.Addr), respPriority)
+	l.send(&Message{Type: MsgData, Addr: m.Addr, Data: data, Requestor: m.Requestor, Peek: m.LockAddr, Seq: m.Seq}, m.Requestor, respPriority)
+	l.send(&Message{Type: MsgCopyBack, Addr: m.Addr, Data: data, Requestor: m.Requestor, ToDir: true, Seq: m.Seq}, l.homes.Home(m.Addr), respPriority)
 }
 
 // onLockProbe arbitrates a losing SWAP at the owner: if the swap would be
@@ -472,8 +516,8 @@ func (l *L1) onLockProbe(m *Message) {
 		if line := l.arr.Peek(m.Addr); line != nil {
 			line.State = cache.Shared
 		}
-		l.send(&Message{Type: MsgData, Addr: m.Addr, Data: data, Requestor: m.Requestor, Peek: true}, m.Requestor, respPriority)
-		l.send(&Message{Type: MsgCopyBack, Addr: m.Addr, Data: data, Requestor: m.Requestor, ToDir: true}, home, respPriority)
+		l.send(&Message{Type: MsgData, Addr: m.Addr, Data: data, Requestor: m.Requestor, Peek: true, Seq: m.Seq}, m.Requestor, respPriority)
+		l.send(&Message{Type: MsgCopyBack, Addr: m.Addr, Data: data, Requestor: m.Requestor, ToDir: true, Seq: m.Seq}, home, respPriority)
 		return
 	}
 	l.Stats.ProbesFailed++
@@ -481,7 +525,7 @@ func (l *L1) onLockProbe(m *Message) {
 		data = m.Data
 	}
 	l.arr.Invalidate(m.Addr)
-	l.send(&Message{Type: MsgDataExcl, Addr: m.Addr, Data: data, Requestor: m.Requestor, Peek: m.LockAddr}, m.Requestor, respPriority)
+	l.send(&Message{Type: MsgDataExcl, Addr: m.Addr, Data: data, Requestor: m.Requestor, Peek: m.LockAddr, Seq: m.Seq}, m.Requestor, respPriority)
 }
 
 // onFwdGetX yields ownership: send data+ownership to the requester and
@@ -492,7 +536,7 @@ func (l *L1) onFwdGetX(m *Message) {
 		data = m.Data
 	}
 	l.arr.Invalidate(m.Addr)
-	l.send(&Message{Type: MsgDataExcl, Addr: m.Addr, Data: data, Requestor: m.Requestor, Peek: m.LockAddr}, m.Requestor, respPriority)
+	l.send(&Message{Type: MsgDataExcl, Addr: m.Addr, Data: data, Requestor: m.Requestor, Peek: m.LockAddr, Seq: m.Seq}, m.Requestor, respPriority)
 }
 
 // lineOrEvictData fetches the current value from the live line or the

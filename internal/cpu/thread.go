@@ -162,6 +162,10 @@ func (t *Thread) Done() bool { return t.done }
 // Phase returns the thread's current phase.
 func (t *Thread) Phase() Phase { return t.phase }
 
+// PhaseStart returns the cycle the current phase began, for stall
+// diagnostics.
+func (t *Thread) PhaseStart() sim.Cycle { return t.phaseStart }
+
 // Rand exposes the thread's deterministic RNG (lock backoff jitter).
 func (t *Thread) Rand() *rand.Rand { return t.rng }
 
@@ -235,8 +239,14 @@ func (t *Thread) setPhase(p Phase) {
 	case PhaseCSE:
 		t.Breakdown.CSE += d
 	}
-	if t.PhaseHook != nil && p != t.phase {
-		t.PhaseHook(t, now, t.phase, p)
+	if p != t.phase {
+		// A phase transition is liveness progress: threads stuck spinning on
+		// an unreachable lock stop transitioning, which the engine's watchdog
+		// detects.
+		t.eng.NoteProgress()
+		if t.PhaseHook != nil {
+			t.PhaseHook(t, now, t.phase, p)
+		}
 	}
 	t.phase = p
 	t.phaseStart = now

@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"inpg"
+	"inpg/internal/fault"
 	"inpg/internal/runner"
 	"inpg/internal/workload"
 )
@@ -42,6 +43,18 @@ type Options struct {
 	// outputs are identical either way (the scheduler is cycle-exact);
 	// this exists to demonstrate that and to debug scheduler changes.
 	Compat bool
+	// FaultRate injects transient link and port faults at this combined
+	// per-flit rate (see fault.AtRate). Zero — the default — leaves the
+	// fault layer entirely out of the build, keeping figure outputs
+	// byte-identical to fault-free baselines.
+	FaultRate float64
+	// FaultSeed seeds the fault injector's keyed hash independently of
+	// the simulation seed; zero derives it from Seed.
+	FaultSeed int64
+	// WatchdogWindow overrides the liveness watchdog (cycles without
+	// progress before a run is declared wedged): 0 keeps the default
+	// window, negative disables the watchdog.
+	WatchdogWindow int64
 }
 
 // DefaultOptions returns the options used for the published EXPERIMENTS.md
@@ -70,7 +83,19 @@ func ConfigFor(p workload.Profile, mech inpg.Mechanism, lk inpg.LockKind, o Opti
 	cfg.ParallelCycles = p.ParallelCycles
 	cfg.ParallelJitter = p.ParallelCycles / 3
 	cfg.AlwaysTick = o.Compat
+	cfg.WatchdogWindow = o.WatchdogWindow
+	if o.FaultRate > 0 {
+		cfg.Fault = fault.AtRate(o.FaultRate, o.faultSeed())
+	}
 	return cfg
+}
+
+// faultSeed resolves the injector seed: explicit, or derived from Seed.
+func (o Options) faultSeed() int64 {
+	if o.FaultSeed != 0 {
+		return o.FaultSeed
+	}
+	return o.Seed ^ 0x66a0_17fa
 }
 
 // seedList expands Options into the seeds to average over.

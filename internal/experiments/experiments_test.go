@@ -280,3 +280,36 @@ func TestSeedList(t *testing.T) {
 		t.Fatalf("seed list = %v", got)
 	}
 }
+
+func TestResilienceSweep(t *testing.T) {
+	r, err := Resilience(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Cases) != len(inpg.Mechanisms)*len(r.Rates) {
+		t.Fatalf("cases = %d, want %d", len(r.Cases), len(inpg.Mechanisms)*len(r.Rates))
+	}
+	for _, c := range r.Cases {
+		if c.Reason != "" {
+			t.Fatalf("%s at rate %.3f failed: %s", c.Mechanism, c.Rate, c.Reason)
+		}
+		if c.CSPerKCyc <= 0 {
+			t.Fatalf("%s at rate %.3f: zero throughput", c.Mechanism, c.Rate)
+		}
+		if c.Rate == 0 && (c.Faults != 0 || c.Retries != 0) {
+			t.Fatalf("fault counters nonzero at rate 0: %+v", c)
+		}
+		if c.Rate > 0 && c.Faults == 0 {
+			t.Fatalf("%s at rate %.3f: no faults injected", c.Mechanism, c.Rate)
+		}
+		if c.Failures != 0 {
+			t.Fatalf("%s at rate %.3f: %d links died under transient faults", c.Mechanism, c.Rate, c.Failures)
+		}
+	}
+	out := r.Render()
+	for _, want := range []string{"Resilience", "mechanism", "retransmission effort"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}

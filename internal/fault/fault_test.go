@@ -1,0 +1,153 @@
+package fault
+
+import (
+	"math"
+	"testing"
+
+	"inpg/internal/sim"
+)
+
+func TestDisabledConfigYieldsNilInjector(t *testing.T) {
+	if New(Config{}) != nil {
+		t.Fatal("zero config must build no injector")
+	}
+	if New(Config{Seed: 7}) != nil {
+		t.Fatal("seed alone must not enable injection")
+	}
+	if New(AtRate(0, 3)) != nil {
+		t.Fatal("AtRate(0) must stay disabled")
+	}
+	if New(Config{DropRate: 0.1}) == nil {
+		t.Fatal("nonzero drop rate must enable injection")
+	}
+	if New(Config{PermanentStalls: []PortStall{{Node: 1, Port: 2}}}) == nil {
+		t.Fatal("permanent stalls must enable injection")
+	}
+}
+
+// Decisions are pure functions of (seed, event identity): the same query
+// answers identically however often and in whatever order it is asked, and
+// two injectors with the same seed agree everywhere.
+func TestDecisionsAreOrderIndependent(t *testing.T) {
+	cfg := Config{Seed: 99, DropRate: 0.3, CorruptRate: 0.2, StallRate: 0.1}
+	a, b := New(cfg), New(cfg)
+	type q struct {
+		now        sim.Cycle
+		node, port int
+		pktID      uint64
+		flit       int
+	}
+	var queries []q
+	for i := 0; i < 500; i++ {
+		queries = append(queries, q{sim.Cycle(i * 3), i % 16, i % 5, uint64(i * 7), i % 8})
+	}
+	// a answers in order; b answers in reverse.
+	fwd := make([]Kind, len(queries))
+	for i, s := range queries {
+		fwd[i] = a.LinkFault(s.now, s.node, s.port, s.pktID, s.flit)
+	}
+	for i := len(queries) - 1; i >= 0; i-- {
+		s := queries[i]
+		if got := b.LinkFault(s.now, s.node, s.port, s.pktID, s.flit); got != fwd[i] {
+			t.Fatalf("query %d: %v in reverse order, %v forward", i, got, fwd[i])
+		}
+	}
+	// Re-asking a — decisions must be stable.
+	for i, s := range queries {
+		if got := a.LinkFault(s.now, s.node, s.port, s.pktID, s.flit); got != fwd[i] {
+			t.Fatalf("query %d: unstable decision", i)
+		}
+	}
+}
+
+func TestSeedChangesDecisions(t *testing.T) {
+	a := New(Config{Seed: 1, DropRate: 0.5})
+	b := New(Config{Seed: 2, DropRate: 0.5})
+	diff := 0
+	for i := 0; i < 1000; i++ {
+		if a.LinkFault(sim.Cycle(i), 0, 1, uint64(i), 0) != b.LinkFault(sim.Cycle(i), 0, 1, uint64(i), 0) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("different seeds never disagreed over 1000 decisions")
+	}
+}
+
+func TestRatesRoughlyHonored(t *testing.T) {
+	in := New(Config{Seed: 5, DropRate: 0.25, CorruptRate: 0.25})
+	const n = 20000
+	var drop, corrupt int
+	for i := 0; i < n; i++ {
+		switch in.LinkFault(sim.Cycle(i), i%16, i%5, uint64(i), 0) {
+		case Dropped:
+			drop++
+		case Corrupted:
+			corrupt++
+		}
+	}
+	for name, got := range map[string]int{"drop": drop, "corrupt": corrupt} {
+		frac := float64(got) / n
+		if math.Abs(frac-0.25) > 0.02 {
+			t.Fatalf("%s rate %.3f, want ≈0.25", name, frac)
+		}
+	}
+	if in.Stats.FlitsDropped != uint64(drop) || in.Stats.FlitsCorrupted != uint64(corrupt) {
+		t.Fatalf("stats %+v disagree with observed %d/%d", in.Stats, drop, corrupt)
+	}
+}
+
+func TestPermanentStallKillsEveryAttempt(t *testing.T) {
+	in := New(Config{Seed: 1, PermanentStalls: []PortStall{{Node: 3, Port: 2, From: 100}}})
+	if got := in.LinkFault(99, 3, 2, 1, 0); got != None {
+		t.Fatalf("stall active before From: %v", got)
+	}
+	for c := sim.Cycle(100); c < 200; c++ {
+		if got := in.LinkFault(c, 3, 2, uint64(c), 0); got != Dropped {
+			t.Fatalf("cycle %d: %v, want every attempt dropped", c, got)
+		}
+	}
+	if got := in.LinkFault(150, 3, 1, 1, 0); got != None {
+		t.Fatalf("other port affected: %v", got)
+	}
+}
+
+func TestTransientStallHoldsWindow(t *testing.T) {
+	in := New(Config{Seed: 11, StallRate: 0.05, StallCycles: 4})
+	// Find a stall onset, then verify it holds for the window.
+	onset := sim.Cycle(0)
+	for c := sim.Cycle(1); c < 10000; c++ {
+		if in.roll(rollStall, uint64(c), 1<<8|2, 0) < in.stallT {
+			onset = c
+			break
+		}
+	}
+	if onset == 0 {
+		t.Fatal("no stall onset found at 5% rate in 10k cycles")
+	}
+	for i := sim.Cycle(0); i < 4; i++ {
+		if !in.PortStalled(onset+i, 1, 2) {
+			t.Fatalf("port not stalled %d cycles after onset", i)
+		}
+	}
+}
+
+func TestBackoffGrowsAndCaps(t *testing.T) {
+	in := New(Config{Seed: 1, DropRate: 0.1, RetryTimeout: 16})
+	want := []sim.Cycle{16, 32, 64, 128, 256, 512, 1024, 1024, 1024}
+	for i, w := range want {
+		if got := in.Backoff(i + 1); got != w {
+			t.Fatalf("backoff(%d) = %d, want %d", i+1, got, w)
+		}
+	}
+}
+
+func TestAtRateSplitsBudget(t *testing.T) {
+	c := AtRate(0.01, 42)
+	if c.DropRate != 0.005 || c.CorruptRate != 0.005 || c.StallRate != 0.0025 {
+		t.Fatalf("AtRate split = %+v", c)
+	}
+	if c.Seed != 42 || !c.Enabled() {
+		t.Fatal("AtRate lost seed or enablement")
+	}
+}

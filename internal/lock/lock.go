@@ -140,23 +140,25 @@ func (a *AddrAlloc) Block() uint64 {
 }
 
 // New builds a lock of the given kind whose primary variable is homed at
-// home. Secondary per-thread structures spread across the chip.
-func New(kind Kind, alloc *AddrAlloc, home noc.NodeID, cfg Config) cpu.Lock {
+// home. Secondary per-thread structures spread across the chip. An unknown
+// kind is a configuration error, reported rather than panicked so library
+// callers (CLIs, experiment sweeps) can surface it.
+func New(kind Kind, alloc *AddrAlloc, home noc.NodeID, cfg Config) (cpu.Lock, error) {
 	switch kind {
 	case TAS:
-		return newTAS(alloc, home, cfg)
+		return newTAS(alloc, home, cfg), nil
 	case TTL:
-		return newTicket(alloc, home, cfg)
+		return newTicket(alloc, home, cfg), nil
 	case ABQL:
-		return newABQL(alloc, home, cfg)
+		return newABQL(alloc, home, cfg), nil
 	case MCS:
-		return newMCS(alloc, home, cfg)
+		return newMCS(alloc, home, cfg), nil
 	case QSL:
-		return newQSL(alloc, home, cfg)
+		return newQSL(alloc, home, cfg), nil
 	case CLH:
-		return newCLH(alloc, home, cfg)
+		return newCLH(alloc, home, cfg), nil
 	}
-	panic(fmt.Sprintf("lock: bad kind %d", kind))
+	return nil, fmt.Errorf("lock: bad kind %d", kind)
 }
 
 // releasePrio is the OCOR priority of release-path requests: above every

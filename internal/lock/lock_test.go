@@ -76,7 +76,10 @@ func newRig(t *testing.T, kind Kind, threads, csEach int, ocor bool) *rig {
 	cfg.CtxSwitch = 100
 	cfg.Wakeup = 50
 	cfg.QSLRetries = 16 // sleep early so tests exercise the sleep path
-	inner := New(kind, alloc, 5, cfg)
+	inner, err := New(kind, alloc, 5, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	me := &meChecker{inner: inner, t: t, holder: -1}
 	r := &rig{t: t, eng: eng, fab: fab, alloc: alloc, me: me}
 	prog := cpu.Program{

@@ -1,0 +1,144 @@
+package noc
+
+import (
+	"errors"
+	"testing"
+
+	"inpg/internal/fault"
+	"inpg/internal/sim"
+)
+
+// Under moderate link fault rates every packet is still delivered — the
+// retransmission layer absorbs drops and CRC failures — and the retry
+// counters record the recovered faults.
+func TestRetransmissionDeliversUnderFaults(t *testing.T) {
+	cfg := Config{
+		Mesh: Mesh{Width: 4, Height: 4}, VCsPerPort: 6, VCDepth: 4,
+		Fault: fault.Config{Seed: 3, DropRate: 0.05, CorruptRate: 0.05},
+	}
+	eng, n, got := testNet(t, cfg)
+	const nodes = 16
+	want := make([]int, nodes)
+	for s := 0; s < nodes; s++ {
+		for d := 0; d < nodes; d++ {
+			n.NI(NodeID(s)).Inject(&Packet{Dst: NodeID(d), VNet: VNet((s + d) % int(NumVNets)), Size: 1})
+			want[d]++
+		}
+	}
+	run(eng, n, 2_000_000)
+	if fl := n.InFlight(); fl != 0 {
+		t.Fatalf("%d packets still in flight under 10%% fault rate", fl)
+	}
+	for d := 0; d < nodes; d++ {
+		if len(got[d]) != want[d] {
+			t.Fatalf("node %d delivered %d, want %d", d, len(got[d]), want[d])
+		}
+	}
+	var retries, failures uint64
+	for id := 0; id < nodes; id++ {
+		retries += n.Router(NodeID(id)).Stats.LinkRetries
+		failures += n.Router(NodeID(id)).Stats.LinkFailures
+	}
+	if retries == 0 {
+		t.Fatal("no retransmissions counted at 10% combined fault rate")
+	}
+	if failures != 0 {
+		t.Fatalf("%d links died under transient faults with default retry bound", failures)
+	}
+	st := n.FaultStats()
+	if st.FlitsDropped+st.FlitsCorrupted != retries {
+		t.Fatalf("injector saw %d faults, routers retried %d times",
+			st.FlitsDropped+st.FlitsCorrupted, retries)
+	}
+}
+
+// Fault-injected runs are bit-identical given the same (sim seed, fault
+// seed): decisions are keyed hashes, not a shared RNG stream.
+func TestFaultedRunsDeterministic(t *testing.T) {
+	trace := func() []uint64 {
+		cfg := Config{
+			Mesh: Mesh{Width: 4, Height: 4}, VCsPerPort: 6, VCDepth: 4,
+			Fault: fault.AtRate(0.05, 11),
+		}
+		eng, n, _ := testNet(t, cfg)
+		var order []uint64
+		for id := 0; id < 16; id++ {
+			ni := n.NI(NodeID(id))
+			ni.OnDeliver = func(p *Packet) {
+				order = append(order, p.ID<<16|uint64(p.DeliveredAt)&0xffff)
+			}
+		}
+		for s := 0; s < 16; s++ {
+			for d := 0; d < 16; d++ {
+				n.NI(NodeID(s)).Inject(&Packet{Dst: NodeID(d), VNet: VNet((s + d) % int(NumVNets)), Size: 1})
+			}
+		}
+		run(eng, n, 2_000_000)
+		return order
+	}
+	a, b := trace(), trace()
+	if len(a) != len(b) {
+		t.Fatalf("delivery counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("delivery %d differs: %x vs %x", i, a[i], b[i])
+		}
+	}
+}
+
+// A permanently stalled port exhausts the bounded retransmission, kills the
+// channel, and the watchdog reports the stall — well before the cycle
+// budget. The diagnosis names the dead link.
+func TestPermanentStallWedgesAndWatchdogTrips(t *testing.T) {
+	cfg := Config{
+		Mesh: Mesh{Width: 4, Height: 4}, VCsPerPort: 6, VCDepth: 4,
+		Fault: fault.Config{
+			Seed:            1,
+			MaxRetries:      3,
+			RetryTimeout:    8,
+			PermanentStalls: []fault.PortStall{{Node: 5, Port: int(East)}},
+		},
+	}
+	eng, n, _ := testNet(t, cfg)
+	eng.SetWatchdog(10_000)
+	// 4 -> 6 routes east through router 5's dead east port.
+	n.NI(4).Inject(&Packet{Dst: 6, VNet: VNetRequest, Size: 1})
+	_, err := eng.Run(50_000_000, func() bool { return n.InFlight() == 0 })
+	var stall *sim.StallError
+	if !errors.As(err, &stall) {
+		t.Fatalf("err = %v, want StallError", err)
+	}
+	if stall.Now > 100_000 {
+		t.Fatalf("watchdog tripped at cycle %d, long after the wedge", stall.Now)
+	}
+	dead := n.Diagnostics(eng.Now()).DeadLinks()
+	if len(dead) != 1 {
+		t.Fatalf("diagnosed %d dead links, want 1", len(dead))
+	}
+	d := dead[0]
+	if d.Node != 5 || d.OutPort != East.String() || !d.Dead {
+		t.Fatalf("dead link diagnosis = %+v, want router 5 out east", d)
+	}
+	if d.Retries != 4 {
+		t.Fatalf("dead VC retries = %d, want MaxRetries+1 = 4", d.Retries)
+	}
+	if n.Router(5).Stats.LinkFailures != 1 {
+		t.Fatalf("LinkFailures = %d, want 1", n.Router(5).Stats.LinkFailures)
+	}
+}
+
+// With fault injection disabled the network takes the exact legacy code
+// path: no injector is built and no retransmission state changes.
+func TestZeroRateBuildsNoInjector(t *testing.T) {
+	cfg := DefaultConfig()
+	eng, n, _ := testNet(t, cfg)
+	if n.FaultInjector() != nil {
+		t.Fatal("zero-rate config built an injector")
+	}
+	n.NI(0).Inject(&Packet{Dst: 63, VNet: VNetRequest, Size: 1})
+	run(eng, n, 1000)
+	if st := n.FaultStats(); st != (fault.Stats{}) {
+		t.Fatalf("fault stats nonzero with injection disabled: %+v", st)
+	}
+}

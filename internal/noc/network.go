@@ -3,6 +3,7 @@ package noc
 import (
 	"fmt"
 
+	"inpg/internal/fault"
 	"inpg/internal/sim"
 )
 
@@ -15,6 +16,12 @@ type Config struct {
 	// PriorityArb enables OCOR priority-based VC/switch arbitration on all
 	// routers.
 	PriorityArb bool
+
+	// Fault configures deterministic fault injection on links and router
+	// ports. The zero value disables injection entirely: no injector is
+	// built and the routers' fault paths are never entered, so a rate-0
+	// run is bit-identical to a build without the fault layer.
+	Fault fault.Config
 }
 
 // DefaultConfig returns the paper's Table 1 network configuration for an
@@ -33,6 +40,10 @@ type Network struct {
 	nis     []*NI
 	pktID   uint64
 	pool    packetPool
+
+	// fault is nil unless cfg.Fault enables injection; routers gate every
+	// fault-path branch on this single pointer.
+	fault *fault.Injector
 }
 
 // New builds and wires a mesh network and registers it with the engine.
@@ -46,7 +57,7 @@ func New(eng *sim.Engine, cfg Config) (*Network, error) {
 	if cfg.Mesh.Width <= 0 || cfg.Mesh.Height <= 0 {
 		return nil, fmt.Errorf("noc: invalid mesh %dx%d", cfg.Mesh.Width, cfg.Mesh.Height)
 	}
-	n := &Network{cfg: cfg, mesh: cfg.Mesh, eng: eng}
+	n := &Network{cfg: cfg, mesh: cfg.Mesh, eng: eng, fault: fault.New(cfg.Fault)}
 	nodes := cfg.Mesh.Nodes()
 	n.routers = make([]*Router, nodes)
 	n.nis = make([]*NI, nodes)
@@ -94,6 +105,19 @@ func (n *Network) Router(id NodeID) *Router { return n.routers[id] }
 
 // NI returns the network interface at node id.
 func (n *Network) NI(id NodeID) *NI { return n.nis[id] }
+
+// FaultInjector returns the network's fault injector, or nil when fault
+// injection is disabled.
+func (n *Network) FaultInjector() *fault.Injector { return n.fault }
+
+// FaultStats returns the injector's decision counters (zero when fault
+// injection is disabled).
+func (n *Network) FaultStats() fault.Stats {
+	if n.fault == nil {
+		return fault.Stats{}
+	}
+	return n.fault.Stats
+}
 
 // nextPacketID issues network-unique packet IDs.
 func (n *Network) nextPacketID() uint64 {

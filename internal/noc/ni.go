@@ -228,6 +228,11 @@ func (ni *NI) eject(now sim.Cycle, f flit) {
 // single reusable flushFn closure.
 func (ni *NI) flushDeliveries() {
 	ni.flushScheduled = false
+	// Every packet delivery is liveness progress for the watchdog: a wedged
+	// mesh (dead link, stuck protocol) stops delivering, while any healthy
+	// run — even one merely spinning on a contended lock — keeps traffic
+	// flowing somewhere.
+	ni.eng.NoteProgress()
 	for len(ni.pendingDeliver) > 0 {
 		p := ni.pendingDeliver[0]
 		n := copy(ni.pendingDeliver, ni.pendingDeliver[1:])

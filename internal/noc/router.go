@@ -1,6 +1,9 @@
 package noc
 
-import "inpg/internal/sim"
+import (
+	"inpg/internal/fault"
+	"inpg/internal/sim"
+)
 
 // Interceptor is the hook through which big routers (package bigrouter)
 // participate in packet switching. Intercept is invoked exactly once per
@@ -31,11 +34,24 @@ type inputVC struct {
 	outPort   Port
 	outVC     int
 	headSince sim.Cycle
+
+	// Link-level retransmission state for the front flit (fault injection
+	// only; all three stay zero when no injector is installed). A faulted
+	// transmission leaves the flit at buf[0] — retrying before dequeue is
+	// what preserves wormhole flit order — and schedules the retry at
+	// nextTry with exponential backoff. Once retries exceeds the injector's
+	// bound the VC is declared dead: the link has failed, the wormhole
+	// channel wedges, and the liveness watchdog reports it.
+	retries int
+	nextTry sim.Cycle
+	dead    bool
 }
 
 func (vc *inputVC) reset() {
 	vc.routed = false
 	vc.outVC = -1
+	vc.retries = 0
+	vc.nextTry = 0
 }
 
 // arrival is a flit in flight on a link toward this router.
@@ -58,6 +74,8 @@ type RouterStats struct {
 	FlitsSwitched   uint64
 	PacketsConsumed uint64 // removed by the interceptor
 	PacketsSeen     uint64 // head flits accepted at input VCs
+	LinkRetries     uint64 // flit transmissions that faulted and were retried
+	LinkFailures    uint64 // input VCs declared dead after retries exhausted
 }
 
 // Router is one mesh router: NumPorts input ports × VCsPerPort virtual
@@ -279,11 +297,17 @@ func (r *Router) Tick(now sim.Cycle) {
 		if grantedIn[p] || !vc.routed || vc.outVC < 0 {
 			continue
 		}
+		if vc.dead || vc.nextTry > now {
+			continue // failed link, or retransmission backoff still running
+		}
 		f := vc.buf[0]
 		if f.bufferedAt >= now {
 			continue // models the 2-stage pipeline: never same-cycle switch
 		}
 		op := vc.outPort
+		if r.net.fault != nil && op != Local && r.net.fault.PortStalled(now, int(r.ID), int(op)) {
+			continue // output port transiently stalled: no grant crosses it
+		}
 		if r.outCred[op][vc.outVC] <= 0 {
 			continue
 		}
@@ -347,6 +371,25 @@ func effectivePriority(now sim.Cycle, vc *inputVC) int {
 func (r *Router) traverse(now sim.Cycle, p Port, v int) {
 	vc := &r.in[p][v]
 	f := vc.buf[0]
+	if r.net.fault != nil && vc.outPort != Local {
+		// The link layer: transmit, CRC-check at the receiver, ack/nack. A
+		// faulted flit (lost, or nacked on CRC failure) stays at the head of
+		// its input VC — retry-before-dequeue keeps wormhole flit order —
+		// and is retransmitted after an exponentially backed-off timeout.
+		// Credits and buffer occupancy are untouched by a failed attempt.
+		if k := r.net.fault.LinkFault(now, int(r.ID), int(vc.outPort), f.pkt.ID, f.idx); k != fault.None {
+			vc.retries++
+			r.Stats.LinkRetries++
+			if vc.retries > r.net.fault.MaxRetries() {
+				vc.dead = true
+				r.Stats.LinkFailures++
+			} else {
+				vc.nextTry = now + r.net.fault.Backoff(vc.retries)
+			}
+			return
+		}
+		vc.retries = 0
+	}
 	// Shift down instead of reslicing: vc.buf[1:] would strand the front
 	// capacity and force append to reallocate on nearly every arrival (the
 	// dominant steady-state allocation). Buffers are at most VCDepth flits,

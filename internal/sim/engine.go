@@ -45,7 +45,6 @@
 package sim
 
 import (
-	"fmt"
 	"math/rand"
 )
 
@@ -146,6 +145,17 @@ type Engine struct {
 	// Stopped is set by Stop; Run loops exit at the end of the current
 	// cycle once it is set.
 	stopped bool
+
+	// failErr is set by Fail: a component-reported fatal error (e.g. a
+	// coherence protocol violation) that the current Run returns instead
+	// of panicking mid-callback.
+	failErr error
+
+	// watchWindow, when nonzero, arms the liveness watchdog: Run returns a
+	// *StallError once watchWindow cycles elapse with no NoteProgress.
+	// lastProgressAt is the cycle progress was last noted.
+	watchWindow    Cycle
+	lastProgressAt Cycle
 }
 
 // eventHeapPrealloc sizes the event heap's initial backing array. A full
@@ -251,6 +261,40 @@ func (e *Engine) ScheduleAt(at Cycle, fn func()) {
 // Stop requests that the current Run loop exit at the end of this cycle.
 func (e *Engine) Stop() { e.stopped = true }
 
+// Fail records a fatal component error and stops the run: the current Run
+// call returns err instead of a panic unwinding through the tick pass.
+// Protocol controllers use it for "impossible" message sequences so a
+// corrupted simulation dies with a typed, diagnosable error. The first
+// failure wins; later ones are dropped.
+func (e *Engine) Fail(err error) {
+	if err == nil {
+		panic("sim: Fail(nil)")
+	}
+	if e.failErr == nil {
+		e.failErr = err
+	}
+	e.stopped = true
+}
+
+// NoteProgress marks the current cycle as having made forward progress
+// toward simulation completion — a packet delivery, a coherence transaction
+// boundary, a thread phase change. The liveness watchdog (SetWatchdog)
+// trips when a full window passes without one.
+func (e *Engine) NoteProgress() { e.lastProgressAt = e.now }
+
+// SetWatchdog arms (window > 0) or disarms (window == 0) the liveness
+// watchdog and restarts its window at the current cycle. While armed, Run
+// returns a *StallError as soon as window cycles elapse with no
+// NoteProgress — long before any outer cycle budget — so callers can dump
+// the wedged state.
+func (e *Engine) SetWatchdog(window Cycle) {
+	e.watchWindow = window
+	e.lastProgressAt = e.now
+}
+
+// WatchdogWindow returns the armed watchdog window (0 when disarmed).
+func (e *Engine) WatchdogWindow() Cycle { return e.watchWindow }
+
 // Step advances the simulation by exactly one cycle: the clock is
 // incremented, due events fire (in schedule order), then every awake
 // ticker runs in registration order. A component woken mid-pass by a
@@ -289,11 +333,20 @@ func (e *Engine) Run(maxCycles Cycle, cond func() bool) (Cycle, error) {
 	start := e.now
 	end := start + maxCycles
 	e.stopped = false
+	e.failErr = nil
 	for e.now < end {
 		if e.nAwake == 0 && !e.alwaysTick {
 			next := end
 			if len(e.events) > 0 && e.events[0].at < next {
 				next = e.events[0].at
+			}
+			// The watchdog boundary caps the jump too: a fully quiescent
+			// but wedged simulation must still trip at exactly
+			// lastProgress+window instead of sailing to the budget bound.
+			if e.watchWindow > 0 {
+				if wd := e.lastProgressAt + e.watchWindow; wd < next {
+					next = wd
+				}
 			}
 			// Land one cycle short so the ordinary Step below performs
 			// the event-firing cycle itself.
@@ -302,11 +355,19 @@ func (e *Engine) Run(maxCycles Cycle, cond func() bool) (Cycle, error) {
 			}
 		}
 		e.Step()
+		if e.failErr != nil {
+			err := e.failErr
+			e.failErr = nil
+			return e.now - start, err
+		}
 		if e.stopped || (cond != nil && cond()) {
 			return e.now - start, nil
 		}
+		if e.watchWindow > 0 && e.now-e.lastProgressAt >= e.watchWindow {
+			return e.now - start, &StallError{Now: e.now, LastProgress: e.lastProgressAt, Window: e.watchWindow}
+		}
 	}
-	return e.now - start, fmt.Errorf("sim: cycle budget %d exhausted at cycle %d", maxCycles, e.now)
+	return e.now - start, &BudgetError{Budget: maxCycles, Now: e.now}
 }
 
 // PendingEvents reports the number of scheduled events not yet fired.

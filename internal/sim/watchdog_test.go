@@ -1,0 +1,112 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+)
+
+// A run that keeps noting progress never trips the watchdog and finishes on
+// its condition.
+func TestWatchdogQuietWhileProgressing(t *testing.T) {
+	e := NewEngine(1)
+	e.SetWatchdog(50)
+	n := 0
+	var pump func()
+	pump = func() {
+		n++
+		e.NoteProgress()
+		if n < 20 {
+			e.Schedule(30, pump) // gaps well inside the window
+		}
+	}
+	e.Schedule(0, pump)
+	if _, err := e.Run(100_000, func() bool { return n == 20 }); err != nil {
+		t.Fatalf("progressing run tripped: %v", err)
+	}
+}
+
+// A run whose progress stops trips at exactly lastProgress+window, not at
+// the cycle budget.
+func TestWatchdogTripsAtWindowBoundary(t *testing.T) {
+	for _, busy := range []bool{false, true} {
+		e := NewEngine(1)
+		if busy {
+			// A permanently awake ticker forces cycle-by-cycle stepping;
+			// without it the idle fast-forward path is exercised instead.
+			e.Register(TickFunc(func(Cycle) {}))
+		}
+		e.SetWatchdog(100)
+		e.Schedule(40, func() { e.NoteProgress() })
+		_, err := e.Run(1_000_000, nil)
+		var stall *StallError
+		if !errors.As(err, &stall) {
+			t.Fatalf("busy=%v: err = %v, want StallError", busy, err)
+		}
+		if stall.LastProgress != 41 || stall.Now != 141 || stall.Window != 100 {
+			t.Fatalf("busy=%v: stall = %+v, want trip at 41+100", busy, stall)
+		}
+	}
+}
+
+// Budget exhaustion is a typed error carrying the bound.
+func TestBudgetErrorTyped(t *testing.T) {
+	e := NewEngine(1)
+	_, err := e.Run(64, nil)
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %v, want BudgetError", err)
+	}
+	if be.Budget != 64 || be.Now != 64 {
+		t.Fatalf("budget error = %+v", be)
+	}
+}
+
+// Fail from inside a callback surfaces through Run as the given error, and
+// the engine is reusable afterwards.
+func TestFailSurfacesThroughRun(t *testing.T) {
+	e := NewEngine(1)
+	boom := errors.New("protocol violation")
+	e.Schedule(10, func() { e.Fail(boom) })
+	_, err := e.Run(1000, nil)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	// A later Run starts clean.
+	done := false
+	e.Schedule(5, func() { done = true })
+	if _, err := e.Run(1000, func() bool { return done }); err != nil {
+		t.Fatalf("engine poisoned after Fail: %v", err)
+	}
+}
+
+// The first Fail wins; Fail(nil) is a programmer error.
+func TestFailFirstWinsAndNilPanics(t *testing.T) {
+	e := NewEngine(1)
+	first := errors.New("first")
+	e.Schedule(1, func() {
+		e.Fail(first)
+		e.Fail(errors.New("second"))
+	})
+	_, err := e.Run(100, nil)
+	if !errors.Is(err, first) {
+		t.Fatalf("err = %v, want first failure", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Fail(nil) must panic")
+		}
+	}()
+	e.Fail(nil)
+}
+
+// SetWatchdog(0) disarms: the run dies on the budget instead.
+func TestWatchdogDisarm(t *testing.T) {
+	e := NewEngine(1)
+	e.SetWatchdog(10)
+	e.SetWatchdog(0)
+	_, err := e.Run(200, nil)
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %v, want BudgetError with watchdog disarmed", err)
+	}
+}
