@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"inpg/internal/experiments"
+	"inpg/internal/monitor"
 	"inpg/internal/report"
 	"inpg/internal/runner"
 )
@@ -42,6 +43,10 @@ func main() {
 		out     = flag.String("out", "", "directory for CSV exports (suite + RTT histograms)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write an allocation profile to this file on exit")
+		metrics = flag.Bool("metrics", false, "enable the per-run telemetry registry")
+		mEvery  = flag.Int("metrics-every", 0, "sample the registry every N cycles (requires -metrics)")
+		manDir  = flag.String("manifest-dir", "", "write one JSON run manifest per simulation into this directory")
+		monAddr = flag.String("monitor", "", "serve the live sweep monitor (progress page, /vars JSON, /events SSE, pprof) on this address, e.g. :8080")
 	)
 	flag.Parse()
 
@@ -75,7 +80,19 @@ func main() {
 	}
 
 	o := experiments.Options{Scale: *scale, Seed: *seed, Seeds: *seeds, Quick: *quick, Workers: *workers, Compat: *compat,
-		FaultRate: *fRate, FaultSeed: *fSeed, WatchdogWindow: *wdog}
+		FaultRate: *fRate, FaultSeed: *fSeed, WatchdogWindow: *wdog,
+		Metrics: *metrics, MetricsSampleEvery: *mEvery, ManifestDir: *manDir}
+	if *monAddr != "" {
+		mon := monitor.New()
+		addr, err := mon.Serve(*monAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "inpgbench: monitor:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "[inpgbench: monitor on http://%s]\n", addr)
+		o.Observer = mon.Observer()
+		defer mon.Close()
+	}
 	// Stderr so the figure tables on stdout stay byte-comparable across runs.
 	fmt.Fprintf(os.Stderr, "[inpgbench: %d workers]\n", runner.Workers(*workers))
 	want := map[string]bool{}

@@ -16,12 +16,16 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"inpg"
 	"inpg/internal/experiments"
 	"inpg/internal/fault"
+	"inpg/internal/manifest"
+	"inpg/internal/metrics"
 	"inpg/internal/report"
 	"inpg/internal/runner"
+	"inpg/internal/trace"
 	"inpg/internal/workload"
 )
 
@@ -45,6 +49,10 @@ func main() {
 		verbose  = flag.Bool("v", false, "print per-thread breakdown")
 		asJSON   = flag.Bool("json", false, "emit the result summary as JSON")
 		listProg = flag.Bool("list", false, "list workload profiles and exit")
+		metricsF = flag.Bool("metrics", false, "enable the telemetry registry and print its final counter snapshot")
+		mEvery   = flag.Int("metrics-every", 0, "sample the registry every N cycles (requires -metrics; feeds -trace-out counter tracks)")
+		manDir   = flag.String("manifest", "", "write a JSON run manifest into this directory")
+		traceOut = flag.String("trace-out", "", "write a Chrome trace-event/Perfetto .trace.json of the primary lock block to this file")
 	)
 	flag.Parse()
 
@@ -80,6 +88,12 @@ func main() {
 	cfg.BigRouters = *brs
 	cfg.BarrierEntries = *barrier
 	cfg.WatchdogWindow = *wdog
+	cfg.Metrics = *metricsF
+	cfg.MetricsSampleEvery = *mEvery
+	if *traceOut != "" && cfg.TraceCapacity == 0 {
+		cfg.TraceCapacity = 1 << 16
+		cfg.TraceAddr = inpg.PrimaryLockAddr(cfg)
+	}
 	if *fRate > 0 {
 		fs := *fSeed
 		if fs == 0 {
@@ -98,16 +112,20 @@ func main() {
 
 	sys, err := inpg.New(cfg)
 	fatal(err)
-	res, err := sys.Run()
-	if err != nil {
+	start := time.Now()
+	res, runErr := sys.Run()
+	// Artifacts are written even for failed runs: a manifest recording the
+	// failure is exactly what a post-mortem wants.
+	writeArtifacts(sys, cfg, res, runErr, time.Since(start).Seconds(), *manDir, *traceOut)
+	if runErr != nil {
 		// A failed run carries a full diagnosis: dump it before exiting so
 		// the wedged state (dead links, stuck transactions, blocked
 		// threads) is visible, not just the headline.
 		var simErr *inpg.SimulationError
-		if errors.As(err, &simErr) && simErr.Diag != nil {
+		if errors.As(runErr, &simErr) && simErr.Diag != nil {
 			fmt.Fprint(os.Stderr, simErr.Diag.String())
 		}
-		fatal(err)
+		fatal(runErr)
 	}
 
 	if *asJSON {
@@ -141,6 +159,33 @@ func main() {
 			fmt.Printf("  thread %2d: parallel %8d  coh %8d  sleep %8d  cse %7d  cs %d  sleeps %d\n",
 				t.ID, t.Parallel, t.COH, t.Sleep, t.CSE, t.CSCompleted, t.Sleeps)
 		}
+	}
+	if *metricsF {
+		if snap := sys.MetricsSnapshot(); snap != nil {
+			fmt.Printf("\ntelemetry counters:\n%s", snap.Text())
+		}
+	}
+}
+
+// writeArtifacts emits the optional per-run outputs: a JSON manifest into
+// manDir and a Chrome trace-event export to traceOut.
+func writeArtifacts(sys *inpg.System, cfg inpg.Config, res *inpg.Results, runErr error, wall float64, manDir, traceOut string) {
+	if manDir != "" {
+		m := manifest.Build("single", 0, cfg, res, sys.MetricsSnapshot(), wall, runErr)
+		path, err := m.WriteFile(manDir)
+		fatal(err)
+		fmt.Fprintf(os.Stderr, "[manifest: %s]\n", path)
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		fatal(err)
+		var events []trace.Event
+		if buf := sys.Trace(); buf != nil {
+			events = buf.Events()
+		}
+		fatal(metrics.WriteChromeTrace(f, events, sys.MetricsSampler()))
+		fatal(f.Close())
+		fmt.Fprintf(os.Stderr, "[trace: %s]\n", traceOut)
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 	"os"
 
 	"inpg"
+	"inpg/internal/metrics"
 	"inpg/internal/noc"
 	"inpg/internal/sim"
 	"inpg/internal/trace"
@@ -31,6 +32,7 @@ func main() {
 		window   = flag.Int("window", 600, "cycles of trace to print, starting at the first acquire")
 		maxEv    = flag.Int("max", 200, "maximum events to print")
 		seed     = flag.Int64("seed", 1, "random seed")
+		outFile  = flag.String("out", "", "also export the full trace as Chrome trace-event/Perfetto JSON to this file")
 	)
 	flag.Parse()
 
@@ -62,6 +64,13 @@ func main() {
 
 	buf := sys.Trace()
 	events := buf.Events()
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		fatal(err)
+		fatal(metrics.WriteChromeTrace(f, events, sys.MetricsSampler()))
+		fatal(f.Close())
+		fmt.Fprintf(os.Stderr, "[trace: %s, %d events]\n", *outFile, len(events))
+	}
 	if len(events) == 0 {
 		fmt.Println("no events traced for the lock block")
 		return

@@ -1,0 +1,80 @@
+// Command inpgvalidate checks generated telemetry artifacts: run
+// manifests against the internal/manifest schema and exported
+// .trace.json files against the Chrome trace-event structure checker.
+// CI runs it over everything a sweep produced; it exits nonzero on the
+// first invalid artifact.
+//
+// Each argument is either a manifest file, a .trace.json file, or a
+// directory scanned (non-recursively) for both.
+//
+// Example:
+//
+//	inpgvalidate out/manifests out/run.trace.json
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"inpg/internal/manifest"
+	"inpg/internal/metrics"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: inpgvalidate <manifest.json|trace.json|dir>...")
+		os.Exit(2)
+	}
+	checked := 0
+	for _, arg := range os.Args[1:] {
+		info, err := os.Stat(arg)
+		fatal(err)
+		if !info.IsDir() {
+			checked += checkFile(arg)
+			continue
+		}
+		entries, err := os.ReadDir(arg)
+		fatal(err)
+		for _, e := range entries {
+			if e.IsDir() {
+				continue
+			}
+			checked += checkFile(filepath.Join(arg, e.Name()))
+		}
+	}
+	if checked == 0 {
+		fatal(fmt.Errorf("no manifests or traces found"))
+	}
+	fmt.Printf("inpgvalidate: %d artifacts valid\n", checked)
+}
+
+// checkFile validates one artifact by name convention; unrecognized
+// files are skipped (directories hold figure CSVs too).
+func checkFile(path string) int {
+	base := filepath.Base(path)
+	switch {
+	case strings.HasPrefix(base, "manifest-") && strings.HasSuffix(base, ".json"):
+		m, err := manifest.ReadFile(path)
+		fatal(err)
+		fmt.Printf("ok %s (%s/%d, %s/%s)\n", path, m.Sweep, m.Index, m.Mechanism, m.Lock)
+		return 1
+	case strings.HasSuffix(base, ".trace.json"):
+		data, err := os.ReadFile(path)
+		fatal(err)
+		if err := metrics.ValidateChromeTrace(data); err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		fmt.Printf("ok %s\n", path)
+		return 1
+	}
+	return 0
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "inpgvalidate:", err)
+		os.Exit(1)
+	}
+}

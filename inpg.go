@@ -37,6 +37,7 @@ import (
 	"inpg/internal/cpu"
 	"inpg/internal/fault"
 	"inpg/internal/lock"
+	"inpg/internal/metrics"
 	"inpg/internal/noc"
 	"inpg/internal/sim"
 	"inpg/internal/stats"
@@ -196,6 +197,19 @@ type Config struct {
 	TraceCapacity int
 	TraceAddr     uint64
 
+	// Metrics enables the unified telemetry registry (internal/metrics):
+	// named counters, gauges and cycle histograms over every subsystem,
+	// read only at snapshot/sample time. Off — the default — the registry
+	// is never built and the run is byte- and allocation-identical to a
+	// metrics-free build; on, the instruments perturb nothing the
+	// simulation can observe, so figure outputs stay byte-identical too.
+	Metrics bool
+	// MetricsSampleEvery, when positive (with Metrics on), samples every
+	// registered scalar instrument into an in-run time series at this
+	// cycle interval; the series feeds the Perfetto trace exporter's
+	// counter tracks. Sampling is cycle-invisible to the simulation.
+	MetricsSampleEvery int
+
 	// Fault configures deterministic fault injection on mesh links and
 	// router ports (package internal/fault): flit drops/corruptions
 	// absorbed by link-level retransmission, and transient port stalls.
@@ -254,6 +268,14 @@ type System struct {
 	timeline *stats.Timeline
 	lockImpl cpu.Lock
 	tracer   *trace.Buffer
+
+	// Telemetry (nil unless Config.Metrics): the instrument registry, the
+	// optional periodic sampler, and the lock latency histograms fed by
+	// the metricsLock decorator.
+	reg         *metrics.Registry
+	sampler     *metrics.Sampler
+	lockHold    *stats.Histogram
+	lockHandoff *stats.Histogram
 }
 
 // lockSet multiplexes critical sections over several independent locks:
@@ -422,7 +444,30 @@ func New(cfg Config) (*System, error) {
 		for _, g := range s.gens {
 			g.Tracer = s.tracer
 		}
+		// Link-layer events (fault-injected runs): retransmissions and
+		// link deaths join the protocol trace through the network's
+		// nil-checked hooks.
+		fab.Net.OnLinkRetry = func(now sim.Cycle, at noc.NodeID, toward noc.Port, p *noc.Packet, attempt int) {
+			s.tracer.Add(trace.Event{Cycle: now, Kind: trace.LinkRetry,
+				Node: at, Src: p.Src, Dst: p.Dst, Addr: p.Addr,
+				Detail: fmt.Sprintf("retry %d toward %v", attempt, toward)})
+		}
+		fab.Net.OnLinkDead = func(now sim.Cycle, at noc.NodeID, toward noc.Port, p *noc.Packet) {
+			s.tracer.Add(trace.Event{Cycle: now, Kind: trace.LinkDead,
+				Node: at, Src: p.Src, Dst: p.Dst, Addr: p.Addr,
+				Detail: fmt.Sprintf("link toward %v declared dead", toward)})
+		}
 		s.lockImpl = &tracingLock{inner: s.lockImpl, buf: s.tracer, eng: eng}
+	}
+
+	// Telemetry: the lock decorator must wrap before threads capture the
+	// lock; the registry itself is built once every component exists.
+	if cfg.Metrics {
+		s.lockHold = stats.NewHistogram(16)
+		s.lockHandoff = stats.NewHistogram(16)
+		s.lockImpl = &metricsLock{inner: s.lockImpl, eng: eng,
+			hold: s.lockHold, handoff: s.lockHandoff,
+			acquiredAt: make([]sim.Cycle, threads)}
 	}
 
 	// Threads.
@@ -447,7 +492,30 @@ func New(cfg Config) (*System, error) {
 		}
 		s.threads = append(s.threads, th)
 	}
+	if cfg.Metrics {
+		s.buildMetrics()
+		if cfg.MetricsSampleEvery > 0 {
+			s.sampler = metrics.NewSampler(eng, s.reg, sim.Cycle(cfg.MetricsSampleEvery))
+			s.sampler.Start()
+		}
+	}
 	return s, nil
+}
+
+// PrimaryLockAddr returns the block address cfg's primary lock variable
+// will be allocated at — the value to put in Config.TraceAddr to trace a
+// run's main lock competition (cmd/inpgsim -trace-out, cmd/inpgtrace).
+func PrimaryLockAddr(cfg Config) uint64 {
+	m := noc.Mesh{Width: cfg.MeshWidth, Height: cfg.MeshHeight}
+	home := noc.NodeID(cfg.LockHomeNode)
+	if cfg.LockHomeNode < 0 {
+		home = defaultLockHome(m)
+	}
+	homes := coherence.HomeMap{
+		Nodes:      m.Nodes(),
+		BlockBytes: coherence.DefaultL1Config().Cache.BlockBytes,
+	}
+	return homes.AddrForHome(home, 0)
 }
 
 // defaultLockHome picks the paper's Figure 10 lock position, core (5,6),

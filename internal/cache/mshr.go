@@ -8,6 +8,9 @@ import "sort"
 type MSHR struct {
 	capacity int
 	entries  map[uint64]*MSHREntry
+	peak     int
+	allocs   uint64
+	rejects  uint64
 }
 
 // MSHREntry is the controller-visible record of one outstanding
@@ -42,13 +45,19 @@ func NewMSHR(capacity int) *MSHR {
 // block).
 func (m *MSHR) Allocate(addr uint64) *MSHREntry {
 	if len(m.entries) >= m.capacity {
+		m.rejects++
 		return nil
 	}
 	if _, dup := m.entries[addr]; dup {
+		m.rejects++
 		return nil
 	}
 	e := &MSHREntry{Addr: addr}
 	m.entries[addr] = e
+	m.allocs++
+	if len(m.entries) > m.peak {
+		m.peak = len(m.entries)
+	}
 	return e
 }
 
@@ -74,3 +83,12 @@ func (m *MSHR) Len() int { return len(m.entries) }
 
 // Full reports whether a new allocation would fail for capacity reasons.
 func (m *MSHR) Full() bool { return len(m.entries) >= m.capacity }
+
+// Peak reports the high-water mark of concurrently outstanding entries.
+func (m *MSHR) Peak() int { return m.peak }
+
+// Allocs reports successful allocations over the file's lifetime.
+func (m *MSHR) Allocs() uint64 { return m.allocs }
+
+// Rejects reports allocations denied for capacity or duplicate address.
+func (m *MSHR) Rejects() uint64 { return m.rejects }

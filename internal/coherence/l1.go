@@ -127,6 +127,10 @@ func NewL1(eng *sim.Engine, node noc.NodeID, ni *noc.NI, homes HomeMap, cfg L1Co
 // Cache exposes the underlying array for invariant checkers and tests.
 func (l *L1) Cache() *cache.Cache { return l.arr }
 
+// MSHR exposes the miss status holding register file (diagnostics,
+// telemetry occupancy gauges).
+func (l *L1) MSHR() *cache.MSHR { return l.mshr }
+
 // nextSeq stamps a new transaction. Starting at 1 keeps the zero value
 // distinct from any real transaction.
 func (l *L1) nextSeq() uint64 {

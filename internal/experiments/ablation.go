@@ -56,7 +56,7 @@ func ablate(name, what string, settings []string, mk func(i int, cfg *inpg.Confi
 			cfgs[i] = baseAblationConfig(o)
 			mk(i, &cfgs[i])
 		}
-		results, err := runAll(o, cfgs)
+		results, err := runAll(o, "ablation", cfgs)
 		if err != nil {
 			return nil, fmt.Errorf("ablation %s: %w", name, err)
 		}

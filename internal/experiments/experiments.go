@@ -11,10 +11,12 @@ package experiments
 
 import (
 	"fmt"
+	"os"
 	"strings"
 
 	"inpg"
 	"inpg/internal/fault"
+	"inpg/internal/manifest"
 	"inpg/internal/runner"
 	"inpg/internal/workload"
 )
@@ -55,6 +57,22 @@ type Options struct {
 	// progress before a run is declared wedged): 0 keeps the default
 	// window, negative disables the watchdog.
 	WatchdogWindow int64
+	// Metrics enables the per-run telemetry registry (internal/metrics)
+	// on every configuration a sweep builds. Registered instruments are
+	// read only at snapshot time, so figure outputs are byte-identical
+	// with metrics on or off (pinned by test).
+	Metrics bool
+	// MetricsSampleEvery, when positive with Metrics on, samples the
+	// registry into a per-run time series at this cycle interval.
+	MetricsSampleEvery int
+	// ManifestDir, when set, writes one JSON run manifest per simulation
+	// (internal/manifest) into this directory, named after the sweep and
+	// the run's submission index.
+	ManifestDir string
+	// Observer, when set, receives every run's lifecycle outcomes — the
+	// live sweep monitor's feed. It is called from worker goroutines and
+	// must be safe for concurrent use.
+	Observer runner.Observer
 }
 
 // DefaultOptions returns the options used for the published EXPERIMENTS.md
@@ -84,6 +102,8 @@ func ConfigFor(p workload.Profile, mech inpg.Mechanism, lk inpg.LockKind, o Opti
 	cfg.ParallelJitter = p.ParallelCycles / 3
 	cfg.AlwaysTick = o.Compat
 	cfg.WatchdogWindow = o.WatchdogWindow
+	cfg.Metrics = o.Metrics
+	cfg.MetricsSampleEvery = o.MetricsSampleEvery
 	if o.FaultRate > 0 {
 		cfg.Fault = fault.AtRate(o.FaultRate, o.faultSeed())
 	}
@@ -124,8 +144,30 @@ func Run(cfg inpg.Config) (*inpg.Results, error) {
 // and returns the results in submission order. Sweeps build their full
 // configuration list up front, submit it here, and aggregate from the
 // ordered results, so their figures are identical for any worker count.
-func runAll(o Options, cfgs []inpg.Config) ([]*inpg.Results, error) {
-	return runner.Run(cfgs, o.Workers)
+// sweep names the batch in run manifests and monitor feeds.
+func runAll(o Options, sweep string, cfgs []inpg.Config) ([]*inpg.Results, error) {
+	return runner.RunObserved(cfgs, o.Workers, o.observer(sweep))
+}
+
+// observer composes manifest emission with the caller-installed observer;
+// nil when neither is configured, so unobserved sweeps take the plain
+// path. Manifest write failures are reported to stderr rather than
+// aborting a sweep that already holds valid results.
+func (o Options) observer(sweep string) runner.Observer {
+	if o.ManifestDir == "" && o.Observer == nil {
+		return nil
+	}
+	return func(out runner.Outcome) {
+		if out.Done && o.ManifestDir != "" {
+			m := manifest.Build(sweep, out.Index, out.Cfg, out.Res, out.Snapshot, out.WallSeconds, out.Err)
+			if _, err := m.WriteFile(o.ManifestDir); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: manifest %s/%d: %v\n", sweep, out.Index, err)
+			}
+		}
+		if o.Observer != nil {
+			o.Observer(out)
+		}
+	}
 }
 
 // profiles returns the workload set a program sweep covers: all 24

@@ -57,7 +57,7 @@ func RunSuite(o Options) (*SuiteResult, error) {
 			}
 		}
 	}
-	results, err := runAll(o, cfgs)
+	results, err := runAll(o, "fig11_12", cfgs)
 	if err != nil {
 		return nil, fmt.Errorf("suite: %w", err)
 	}

@@ -53,7 +53,7 @@ func Fig13(o Options, full24 bool) (*Fig13Result, error) {
 			cfgs = append(cfgs, ConfigFor(p, inpg.INPG, lk, o))
 		}
 	}
-	results, err := runAll(o, cfgs)
+	results, err := runAll(o, "fig13", cfgs)
 	if err != nil {
 		return nil, fmt.Errorf("fig13: %w", err)
 	}

@@ -54,7 +54,7 @@ func Fig14(o Options) (*Fig14Result, error) {
 			cfgs = append(cfgs, cfg)
 		}
 	}
-	results, err := runAll(o, cfgs)
+	results, err := runAll(o, "fig14", cfgs)
 	if err != nil {
 		return nil, fmt.Errorf("fig14: %w", err)
 	}

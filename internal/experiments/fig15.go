@@ -67,7 +67,7 @@ func Fig15(o Options) (*Fig15Result, error) {
 			}
 		}
 	}
-	results, err := runAll(o, cfgs)
+	results, err := runAll(o, "fig15", cfgs)
 	if err != nil {
 		return nil, fmt.Errorf("fig15: %w", err)
 	}

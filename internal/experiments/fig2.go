@@ -36,7 +36,7 @@ func Fig2(o Options) (*Fig2Result, error) {
 			cfgs = append(cfgs, ConfigFor(p, inpg.Original, lk, o))
 		}
 	}
-	results, err := runAll(o, cfgs)
+	results, err := runAll(o, "fig2", cfgs)
 	if err != nil {
 		return nil, fmt.Errorf("fig2: %w", err)
 	}

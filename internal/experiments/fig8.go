@@ -46,7 +46,7 @@ func Fig8(o Options) (*Fig8Result, error) {
 	for i, p := range profiles {
 		cfgs[i] = ConfigFor(p, inpg.Original, inpg.LockQSL, o)
 	}
-	results, err := runAll(o, cfgs)
+	results, err := runAll(o, "fig8", cfgs)
 	if err != nil {
 		return nil, fmt.Errorf("fig8: %w", err)
 	}

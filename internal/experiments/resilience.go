@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"time"
 
 	"inpg"
 	"inpg/internal/fault"
@@ -75,13 +76,25 @@ func Resilience(o Options) (*ResilienceResult, error) {
 	r.Threads = cfgs[0].MeshWidth * cfgs[0].MeshHeight
 
 	// Fan out with per-run error capture: a failed run fills its cell's
-	// Reason instead of aborting the sweep.
-	err = runner.ForEach(len(cfgs), o.Workers, func(i int) error {
+	// Reason instead of aborting the sweep. Outcomes (manifests, monitor
+	// feed) are emitted by hand because this sweep keeps tolerated
+	// failures out of the runner's error path.
+	obs := o.observer("resilience")
+	err = runner.ForEachWorker(len(cfgs), o.Workers, func(worker, i int) error {
+		if obs != nil {
+			obs(runner.Outcome{Index: i, Worker: worker, Cfg: cfgs[i]})
+		}
+		start := time.Now()
 		sys, err := inpg.New(cfgs[i])
 		if err != nil {
 			return err
 		}
 		res, err := sys.Run()
+		if obs != nil {
+			obs(runner.Outcome{Index: i, Worker: worker, Done: true, Cfg: cfgs[i],
+				Res: res, Err: err, Snapshot: sys.MetricsSnapshot(),
+				WallSeconds: time.Since(start).Seconds()})
+		}
 		c := &cases[i]
 		if err != nil {
 			var simErr *inpg.SimulationError

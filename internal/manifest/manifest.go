@@ -1,0 +1,203 @@
+// Package manifest emits one machine-readable JSON artifact per
+// experiment run: the configuration that produced it, the mechanism and
+// lock under test, the headline results, the final telemetry counter
+// snapshot, and the wall time it took — the record that makes a figure
+// auditable after the fact (which run produced this bar, under which
+// seed, with which counters). Manifests are written next to figure
+// outputs by internal/experiments and cmd/inpgsim.
+package manifest
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"inpg"
+	"inpg/internal/metrics"
+)
+
+// SchemaVersion identifies the manifest layout; bump on breaking change.
+const SchemaVersion = 1
+
+// Kind is the manifest's fixed type tag.
+const Kind = "inpg-run-manifest"
+
+// EngineStats records what the engine did over the run.
+type EngineStats struct {
+	FinalCycle    uint64 `json:"final_cycle"`
+	PendingEvents int    `json:"pending_events"`
+}
+
+// Summary carries the headline results (a subset of inpg.Results chosen
+// for stability across schema versions).
+type Summary struct {
+	Runtime        uint64  `json:"runtime_cycles"`
+	Threads        int     `json:"threads"`
+	Parallel       uint64  `json:"parallel_cycles"`
+	COH            uint64  `json:"coh_cycles"`
+	Sleep          uint64  `json:"sleep_cycles"`
+	CSE            uint64  `json:"cse_cycles"`
+	CSCompleted    int     `json:"cs_completed"`
+	LCOPercent     float64 `json:"lco_percent"`
+	RTTMean        float64 `json:"rtt_mean_cycles"`
+	RTTMax         uint64  `json:"rtt_max_cycles"`
+	EarlyInvs      uint64  `json:"early_invalidations"`
+	Stopped        uint64  `json:"stopped_requests"`
+	FaultsInjected uint64  `json:"faults_injected"`
+	LinkRetries    uint64  `json:"link_retries"`
+}
+
+// Manifest is one run's full record.
+type Manifest struct {
+	SchemaVersion int    `json:"schema_version"`
+	Kind          string `json:"kind"`
+
+	// Sweep and Index locate the run inside its experiment: the sweep
+	// name (e.g. "fig11", "single") and the run's submission index.
+	Sweep string `json:"sweep"`
+	Index int    `json:"index"`
+
+	Mechanism string `json:"mechanism"`
+	Lock      string `json:"lock"`
+	Seed      int64  `json:"seed"`
+
+	// Config is the full simulation configuration, embedded verbatim so a
+	// manifest alone suffices to reproduce its run.
+	Config inpg.Config `json:"config"`
+
+	// WallSeconds is host time, the one deliberately nondeterministic
+	// field; determinism comparisons must exclude it (see Canonical).
+	WallSeconds float64 `json:"wall_seconds"`
+
+	// Error is the run's failure, empty on success. Summary and Engine
+	// are zero when the run failed before producing results.
+	Error   string      `json:"error,omitempty"`
+	Engine  EngineStats `json:"engine"`
+	Summary Summary     `json:"summary"`
+
+	// Metrics is the final counter snapshot (empty when the run was not
+	// metered).
+	Metrics *metrics.Snapshot `json:"metrics,omitempty"`
+}
+
+// Build assembles a manifest from one finished run. res and snap may be
+// nil (failed or unmetered runs); runErr may be nil.
+func Build(sweep string, index int, cfg inpg.Config, res *inpg.Results, snap *metrics.Snapshot, wallSeconds float64, runErr error) Manifest {
+	m := Manifest{
+		SchemaVersion: SchemaVersion,
+		Kind:          Kind,
+		Sweep:         sweep,
+		Index:         index,
+		Mechanism:     cfg.Mechanism.String(),
+		Lock:          cfg.Lock.String(),
+		Seed:          cfg.Seed,
+		Config:        cfg,
+		WallSeconds:   wallSeconds,
+		Metrics:       snap,
+	}
+	if runErr != nil {
+		m.Error = runErr.Error()
+	}
+	if res != nil {
+		m.Summary = Summary{
+			Runtime:        res.Runtime,
+			Threads:        res.Threads,
+			Parallel:       res.Parallel,
+			COH:            res.COH,
+			Sleep:          res.Sleep,
+			CSE:            res.CSE,
+			CSCompleted:    res.CSCompleted,
+			LCOPercent:     res.LCOPercent,
+			RTTMean:        res.RTTMean,
+			RTTMax:         res.RTTMax,
+			EarlyInvs:      res.EarlyInvs,
+			Stopped:        res.Stopped,
+			FaultsInjected: res.FaultsInjected,
+			LinkRetries:    res.LinkRetries,
+		}
+		m.Engine = EngineStats{FinalCycle: res.Runtime}
+	}
+	return m
+}
+
+// Validate checks the manifest against the schema: the small Go checker
+// CI and the tests run instead of an external JSON-schema tool.
+func (m *Manifest) Validate() error {
+	switch {
+	case m.SchemaVersion != SchemaVersion:
+		return fmt.Errorf("manifest: schema_version %d, want %d", m.SchemaVersion, SchemaVersion)
+	case m.Kind != Kind:
+		return fmt.Errorf("manifest: kind %q, want %q", m.Kind, Kind)
+	case m.Sweep == "":
+		return fmt.Errorf("manifest: empty sweep")
+	case m.Index < 0:
+		return fmt.Errorf("manifest: negative index %d", m.Index)
+	case m.Mechanism == "":
+		return fmt.Errorf("manifest: empty mechanism")
+	case m.Lock == "":
+		return fmt.Errorf("manifest: empty lock")
+	case m.WallSeconds < 0:
+		return fmt.Errorf("manifest: negative wall_seconds")
+	}
+	if _, err := inpg.ParseMechanism(m.Mechanism); err != nil {
+		return fmt.Errorf("manifest: %w", err)
+	}
+	if _, err := inpg.ParseLockKind(m.Lock); err != nil {
+		return fmt.Errorf("manifest: %w", err)
+	}
+	if m.Error == "" && m.Summary.Runtime == 0 {
+		return fmt.Errorf("manifest: successful run with zero runtime")
+	}
+	if m.Metrics != nil {
+		for i := 1; i < len(m.Metrics.Values); i++ {
+			if m.Metrics.Values[i-1].Name >= m.Metrics.Values[i].Name {
+				return fmt.Errorf("manifest: metrics not in sorted order at %q", m.Metrics.Values[i].Name)
+			}
+		}
+	}
+	return nil
+}
+
+// Canonical returns the manifest with its nondeterministic field zeroed,
+// for byte-comparison across worker counts and scheduling modes.
+func (m Manifest) Canonical() Manifest {
+	m.WallSeconds = 0
+	return m
+}
+
+// Filename returns the manifest's conventional file name within a sweep
+// output directory.
+func Filename(sweep string, index int) string {
+	return fmt.Sprintf("manifest-%s-%04d.json", sweep, index)
+}
+
+// WriteFile writes the manifest as indented JSON into dir under its
+// conventional name, creating dir if needed.
+func (m *Manifest) WriteFile(dir string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, Filename(m.Sweep, m.Index))
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return path, os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadFile loads and validates a manifest from disk.
+func ReadFile(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("manifest %s: %w", path, err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("manifest %s: %w", path, err)
+	}
+	return &m, nil
+}

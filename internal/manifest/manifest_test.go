@@ -1,0 +1,116 @@
+package manifest
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"inpg"
+)
+
+// smallRun executes a tiny metered simulation for manifest fixtures.
+func smallRun(t *testing.T) (inpg.Config, *inpg.System, *inpg.Results) {
+	t.Helper()
+	cfg := inpg.DefaultConfig()
+	cfg.MeshWidth, cfg.MeshHeight = 4, 4
+	cfg.Lock = inpg.LockTAS
+	cfg.CSPerThread = 2
+	cfg.Metrics = true
+	sys, err := inpg.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg, sys, res
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	cfg, sys, res := smallRun(t)
+	m := Build("fig2", 7, cfg, res, sys.MetricsSnapshot(), 0.25, nil)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Mechanism != "Original" || m.Lock != "TAS" {
+		t.Fatalf("mechanism/lock = %q/%q", m.Mechanism, m.Lock)
+	}
+	if m.Summary.Runtime != res.Runtime || m.Summary.CSCompleted != res.CSCompleted {
+		t.Fatalf("summary mismatch: %+v vs %+v", m.Summary, res)
+	}
+	if m.Metrics == nil || len(m.Metrics.Values) == 0 {
+		t.Fatal("metered run produced no metrics in manifest")
+	}
+
+	dir := t.TempDir()
+	path, err := m.WriteFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "manifest-fig2-0007.json" {
+		t.Fatalf("file name = %s", filepath.Base(path))
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Canonical(), m.Canonical()) {
+		t.Fatal("manifest changed across write/read round trip")
+	}
+	// The embedded config alone reproduces the run.
+	sys2, err := inpg.New(got.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := sys2.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Runtime != got.Summary.Runtime {
+		t.Fatalf("replayed runtime %d != manifest %d", res2.Runtime, got.Summary.Runtime)
+	}
+}
+
+func TestManifestFailedRun(t *testing.T) {
+	cfg := inpg.DefaultConfig()
+	m := Build("res", 0, cfg, nil, nil, 0.1, os.ErrDeadlineExceeded)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Error == "" || m.Summary.Runtime != 0 {
+		t.Fatalf("failed-run manifest = %+v", m)
+	}
+}
+
+func TestManifestValidateRejects(t *testing.T) {
+	cfg, sys, res := smallRun(t)
+	good := Build("fig2", 0, cfg, res, sys.MetricsSnapshot(), 0, nil)
+
+	cases := map[string]func(*Manifest){
+		"schema":      func(m *Manifest) { m.SchemaVersion = 99 },
+		"kind":        func(m *Manifest) { m.Kind = "bogus" },
+		"sweep":       func(m *Manifest) { m.Sweep = "" },
+		"index":       func(m *Manifest) { m.Index = -1 },
+		"mechanism":   func(m *Manifest) { m.Mechanism = "warp-drive" },
+		"lock":        func(m *Manifest) { m.Lock = "chewing-gum" },
+		"wall":        func(m *Manifest) { m.WallSeconds = -1 },
+		"zero-run":    func(m *Manifest) { m.Error = ""; m.Summary.Runtime = 0 },
+		"metrics-ord": func(m *Manifest) { m.Metrics.Values[0], m.Metrics.Values[1] = m.Metrics.Values[1], m.Metrics.Values[0] },
+	}
+	for name, mutate := range cases {
+		m := good
+		// Deep-copy the snapshot so mutations don't leak across cases.
+		cp := *good.Metrics
+		cp.Values = append(cp.Values[:0:0], cp.Values...)
+		m.Metrics = &cp
+		mutate(&m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("%s: invalid manifest accepted", name)
+		} else if !strings.HasPrefix(err.Error(), "manifest") {
+			t.Errorf("%s: error %q not prefixed", name, err)
+		}
+	}
+}

@@ -1,0 +1,199 @@
+// Package metrics is the simulator's unified telemetry registry: named
+// counters, gauges and cycle histograms that every subsystem — the engine,
+// the NoC, the coherence fabric, the memory controllers, the big routers
+// and the threads — registers into at construction time.
+//
+// The design rule is the same nil-check discipline as internal/trace: the
+// hot path never pays for telemetry it did not ask for. Counters are not
+// incremented through the registry at all — components keep their existing
+// plain-field Stats structs (a single-threaded simulation needs no
+// atomics), and the registry holds *reader closures* over those fields.
+// Reading happens only at snapshot or sample time, so a run with metrics
+// disabled is byte- and allocation-identical to one without the package
+// compiled in, and a run with metrics enabled perturbs nothing the
+// simulation can observe.
+//
+// Cross-run aggregation is the runner's concern: one Registry belongs to
+// exactly one simulation and is read from its single thread.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"inpg/internal/stats"
+)
+
+// Reader yields the current value of a registered counter or gauge.
+type Reader func() uint64
+
+// entry is one registered scalar series.
+type entry struct {
+	name string
+	read Reader
+	// gauge marks instantaneous values (occupancies) as opposed to
+	// monotonically nondecreasing counters; the distinction matters only
+	// to exporters (Perfetto renders both as counter tracks).
+	gauge bool
+}
+
+// histEntry is one registered histogram.
+type histEntry struct {
+	name string
+	h    *stats.Histogram
+}
+
+// Registry holds a simulation's registered instruments. The zero value is
+// unusable; use NewRegistry. Registration order is irrelevant: snapshots
+// and samples are always emitted in sorted-name order, so two runs that
+// register the same instruments in different orders still produce
+// byte-identical output.
+type Registry struct {
+	entries []entry
+	hists   []histEntry
+	sealed  bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Counter registers a monotonically nondecreasing series under name.
+// Duplicate names panic: they would silently shadow each other in
+// snapshots and the mistake is always a wiring bug.
+func (r *Registry) Counter(name string, read Reader) {
+	r.add(name, read, false)
+}
+
+// Gauge registers an instantaneous-value series (an occupancy, a queue
+// depth) under name.
+func (r *Registry) Gauge(name string, read Reader) {
+	r.add(name, read, true)
+}
+
+func (r *Registry) add(name string, read Reader, gauge bool) {
+	if r.sealed {
+		panic("metrics: registration after first snapshot/sample")
+	}
+	if read == nil {
+		panic("metrics: nil reader for " + name)
+	}
+	for _, e := range r.entries {
+		if e.name == name {
+			panic("metrics: duplicate instrument " + name)
+		}
+	}
+	r.entries = append(r.entries, entry{name: name, read: read, gauge: gauge})
+}
+
+// Histogram registers a cycle histogram under name. The histogram is
+// owned by the caller; the registry only reads it at snapshot time.
+func (r *Registry) Histogram(name string, h *stats.Histogram) {
+	if r.sealed {
+		panic("metrics: registration after first snapshot/sample")
+	}
+	if h == nil {
+		panic("metrics: nil histogram for " + name)
+	}
+	for _, e := range r.hists {
+		if e.name == name {
+			panic("metrics: duplicate histogram " + name)
+		}
+	}
+	r.hists = append(r.hists, histEntry{name: name, h: h})
+}
+
+// seal sorts the instrument tables and freezes registration; called on the
+// first read so every snapshot and sample shares one stable order.
+func (r *Registry) seal() {
+	if r.sealed {
+		return
+	}
+	sort.Slice(r.entries, func(i, j int) bool { return r.entries[i].name < r.entries[j].name })
+	sort.Slice(r.hists, func(i, j int) bool { return r.hists[i].name < r.hists[j].name })
+	r.sealed = true
+}
+
+// Names returns the registered scalar instrument names in snapshot order.
+func (r *Registry) Names() []string {
+	r.seal()
+	out := make([]string, len(r.entries))
+	for i, e := range r.entries {
+		out[i] = e.name
+	}
+	return out
+}
+
+// Len reports the number of registered scalar instruments.
+func (r *Registry) Len() int { return len(r.entries) }
+
+// KV is one snapshotted value.
+type KV struct {
+	Name  string `json:"name"`
+	Value uint64 `json:"value"`
+	Gauge bool   `json:"gauge,omitempty"`
+}
+
+// HistSummary is one histogram's snapshotted shape.
+type HistSummary struct {
+	Name  string `json:"name"`
+	Count uint64 `json:"count"`
+	Sum   uint64 `json:"sum"`
+	Max   uint64 `json:"max"`
+	P50   uint64 `json:"p50"`
+	P99   uint64 `json:"p99"`
+}
+
+// Snapshot is a full, deterministic read of every instrument: values in
+// sorted-name order, histograms summarized. Equal simulations produce
+// byte-identical snapshots regardless of worker count or engine
+// scheduling mode.
+type Snapshot struct {
+	Cycle      uint64        `json:"cycle"`
+	Values     []KV          `json:"values"`
+	Histograms []HistSummary `json:"histograms,omitempty"`
+}
+
+// Snapshot reads every instrument at the given cycle.
+func (r *Registry) Snapshot(cycle uint64) Snapshot {
+	r.seal()
+	s := Snapshot{Cycle: cycle, Values: make([]KV, len(r.entries))}
+	for i, e := range r.entries {
+		s.Values[i] = KV{Name: e.name, Value: e.read(), Gauge: e.gauge}
+	}
+	for _, he := range r.hists {
+		s.Histograms = append(s.Histograms, HistSummary{
+			Name:  he.name,
+			Count: he.h.Count(),
+			Sum:   he.h.Sum(),
+			Max:   he.h.Max(),
+			P50:   he.h.Percentile(0.50),
+			P99:   he.h.Percentile(0.99),
+		})
+	}
+	return s
+}
+
+// Text renders the snapshot one "name value" line at a time, the
+// canonical byte-comparable form the determinism tests pin.
+func (s Snapshot) Text() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "cycle %d\n", s.Cycle)
+	for _, kv := range s.Values {
+		fmt.Fprintf(&sb, "%s %d\n", kv.Name, kv.Value)
+	}
+	for _, h := range s.Histograms {
+		fmt.Fprintf(&sb, "%s count=%d sum=%d max=%d p50=%d p99=%d\n",
+			h.Name, h.Count, h.Sum, h.Max, h.P50, h.P99)
+	}
+	return sb.String()
+}
+
+// Get returns the value recorded for name, and whether it exists.
+func (s Snapshot) Get(name string) (uint64, bool) {
+	i := sort.Search(len(s.Values), func(i int) bool { return s.Values[i].Name >= name })
+	if i < len(s.Values) && s.Values[i].Name == name {
+		return s.Values[i].Value, true
+	}
+	return 0, false
+}

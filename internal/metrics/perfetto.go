@@ -1,0 +1,167 @@
+// Chrome trace-event ("Perfetto JSON") export: converts a protocol trace
+// and a sampled metric series into a .trace.json that loads directly in
+// ui.perfetto.dev or chrome://tracing. One simulated cycle maps to one
+// microsecond of trace time, so the Perfetto timeline reads in cycles.
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"inpg/internal/trace"
+)
+
+// Process IDs in the exported trace: protocol events render one thread
+// row per mesh node, lock events one row per competing thread, and each
+// sampled metric becomes its own counter track.
+const (
+	pidNodes   = 1
+	pidThreads = 2
+	pidMetrics = 3
+)
+
+// chromeEvent is one trace-event JSON object. Field order follows the
+// struct, and encoding/json sorts map keys, so output is deterministic.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   uint64         `json:"ts"`
+	Dur  uint64         `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level JSON object.
+type chromeTrace struct {
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+}
+
+// WriteChromeTrace converts protocol events (oldest-first, as returned by
+// trace.Buffer.Events) and an optional sampled series into Chrome
+// trace-event JSON. Either input may be empty/nil. Events are emitted in
+// nondecreasing ts order.
+func WriteChromeTrace(w io.Writer, events []trace.Event, sampler *Sampler) error {
+	var out []chromeEvent
+
+	// Lock sessions: pair each node's acquire with its following release
+	// into a complete ("X") event so held sections render as spans.
+	heldSince := make(map[int]uint64)
+	for _, e := range events {
+		switch e.Kind {
+		case trace.LockAcquire:
+			heldSince[int(e.Node)] = uint64(e.Cycle)
+		case trace.LockRelease:
+			tid := int(e.Node)
+			if at, ok := heldSince[tid]; ok {
+				out = append(out, chromeEvent{
+					Name: "lock-held", Ph: "X", Ts: at, Dur: uint64(e.Cycle) - at,
+					Pid: pidThreads, Tid: tid,
+				})
+				delete(heldSince, tid)
+			}
+		default:
+			out = append(out, chromeEvent{
+				Name: e.Kind.String(), Ph: "i", Ts: uint64(e.Cycle),
+				Pid: pidNodes, Tid: int(e.Node), S: "t",
+				Args: map[string]any{
+					"src":    int(e.Src),
+					"dst":    int(e.Dst),
+					"addr":   fmt.Sprintf("%#x", e.Addr),
+					"detail": e.Detail,
+				},
+			})
+		}
+	}
+	// Unmatched acquires (still held at trace end) degrade to instants.
+	for tid, at := range heldSince {
+		out = append(out, chromeEvent{
+			Name: "lock-acquire", Ph: "i", Ts: at,
+			Pid: pidThreads, Tid: tid, S: "t",
+		})
+	}
+
+	// Sampled series: one counter track per instrument.
+	if sampler != nil {
+		for _, s := range sampler.Series {
+			for i, name := range sampler.Names {
+				out = append(out, chromeEvent{
+					Name: name, Ph: "C", Ts: s.Cycle,
+					Pid: pidMetrics, Tid: 0,
+					Args: map[string]any{"value": s.Values[i]},
+				})
+			}
+		}
+	}
+
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Ts < out[j].Ts })
+
+	// Metadata names render the rows readably; ts 0 keeps them ahead of
+	// everything after the sort above (they are prepended post-sort).
+	meta := []chromeEvent{
+		processName(pidNodes, "mesh nodes"),
+		processName(pidThreads, "threads (lock sessions)"),
+		processName(pidMetrics, "metrics"),
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{
+		DisplayTimeUnit: "ms",
+		TraceEvents:     append(meta, out...),
+	})
+}
+
+// processName builds a process_name metadata event.
+func processName(pid int, name string) chromeEvent {
+	return chromeEvent{
+		Name: "process_name", Ph: "M", Pid: pid, Tid: 0,
+		Args: map[string]any{"name": name},
+	}
+}
+
+// ValidateChromeTrace structurally checks an exported .trace.json: it must
+// be valid JSON, every event must carry name/ph/pid/tid, and timestamps of
+// non-metadata events must be nondecreasing. This is the checker the tests
+// and CI run against generated traces.
+func ValidateChromeTrace(data []byte) error {
+	var t struct {
+		TraceEvents []map[string]json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &t); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	if len(t.TraceEvents) == 0 {
+		return fmt.Errorf("trace: no events")
+	}
+	lastTs := -1.0
+	for i, e := range t.TraceEvents {
+		for _, key := range []string{"name", "ph", "pid", "tid"} {
+			if _, ok := e[key]; !ok {
+				return fmt.Errorf("trace: event %d missing %q", i, key)
+			}
+		}
+		var ph string
+		if err := json.Unmarshal(e["ph"], &ph); err != nil || ph == "" {
+			return fmt.Errorf("trace: event %d has invalid ph", i)
+		}
+		if ph == "M" {
+			continue
+		}
+		raw, ok := e["ts"]
+		if !ok {
+			return fmt.Errorf("trace: event %d (%s) missing ts", i, ph)
+		}
+		var ts float64
+		if err := json.Unmarshal(raw, &ts); err != nil {
+			return fmt.Errorf("trace: event %d ts: %w", i, err)
+		}
+		if ts < lastTs {
+			return fmt.Errorf("trace: event %d ts %v before %v", i, ts, lastTs)
+		}
+		lastTs = ts
+	}
+	return nil
+}

@@ -1,0 +1,292 @@
+// Package monitor serves a live view of a running experiment sweep: an
+// expvar-style JSON endpoint, a plain-text progress page, a Server-Sent
+// Events stream, and net/http/pprof — all on one address the user picks
+// with inpgbench -monitor.
+//
+// The monitor never touches a simulation: runner workers hand finished
+// Outcomes to the Observer, which forwards them over a buffered channel
+// to a single aggregator goroutine. All shared state lives behind the
+// aggregator's mutex, which only it and HTTP handlers take — there are no
+// locks or channels on any sim hot path.
+package monitor
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"inpg/internal/runner"
+)
+
+// rateWindow bounds the rolling-throughput window: runs per second is
+// measured over completions in the last rateWindow.
+const rateWindow = 30 * time.Second
+
+// WorkerStatus is one worker goroutine's current activity.
+type WorkerStatus struct {
+	Worker int    `json:"worker"`
+	Busy   bool   `json:"busy"`
+	Index  int    `json:"index"`
+	Label  string `json:"label,omitempty"`
+}
+
+// Status is the monitor's public state, served as JSON on /vars and as a
+// data frame on every /events message.
+type Status struct {
+	Completed      int     `json:"completed"`
+	Failed         int     `json:"failed"`
+	InFlight       int     `json:"in_flight"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	// RunsPerSecond is throughput over the rolling window (not the whole
+	// sweep), so it tracks slowdowns as heavier configurations start.
+	RunsPerSecond float64        `json:"runs_per_second"`
+	Workers       []WorkerStatus `json:"workers"`
+	// Counters aggregates the final telemetry snapshots of completed
+	// metered runs (empty when metrics are off).
+	Counters map[string]uint64 `json:"counters,omitempty"`
+}
+
+// Monitor aggregates run outcomes and serves them over HTTP.
+type Monitor struct {
+	ch    chan runner.Outcome
+	drain sync.WaitGroup
+
+	mu       sync.Mutex
+	start    time.Time
+	workers  map[int]*WorkerStatus
+	counters map[string]uint64
+	recent   []time.Time
+	complete int
+	failed   int
+	inFlight int
+	subs     map[chan []byte]struct{}
+
+	ln  net.Listener
+	srv *http.Server
+}
+
+// New builds a monitor and starts its aggregator goroutine.
+func New() *Monitor {
+	m := &Monitor{
+		ch:       make(chan runner.Outcome, 256),
+		start:    time.Now(),
+		workers:  map[int]*WorkerStatus{},
+		counters: map[string]uint64{},
+		subs:     map[chan []byte]struct{}{},
+	}
+	m.drain.Add(1)
+	go m.loop()
+	return m
+}
+
+// Observer returns the runner.Observer feeding this monitor. All it does
+// on the worker's goroutine is a buffered channel send.
+func (m *Monitor) Observer() runner.Observer {
+	return func(o runner.Outcome) { m.ch <- o }
+}
+
+// Serve starts the HTTP server on addr (e.g. ":8080") and returns the
+// bound address. Endpoints: / (plain-text progress), /vars (JSON),
+// /events (SSE), /debug/pprof/ (profiling).
+func (m *Monitor) Serve(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", m.handleText)
+	mux.HandleFunc("/vars", m.handleVars)
+	mux.HandleFunc("/events", m.handleEvents)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	m.ln = ln
+	m.srv = &http.Server{Handler: mux}
+	go m.srv.Serve(ln)
+	return ln.Addr().String(), nil
+}
+
+// Close stops the aggregator and the HTTP server. The caller must not
+// invoke the Observer after Close — in practice: close after every sweep
+// using it has returned.
+func (m *Monitor) Close() error {
+	close(m.ch)
+	m.drain.Wait()
+	if m.srv != nil {
+		return m.srv.Close()
+	}
+	return nil
+}
+
+// loop is the aggregator: the only writer of monitor state.
+func (m *Monitor) loop() {
+	defer m.drain.Done()
+	for o := range m.ch {
+		m.mu.Lock()
+		m.apply(o)
+		if len(m.subs) > 0 {
+			frame, err := json.Marshal(m.statusLocked())
+			if err == nil {
+				for sub := range m.subs {
+					select {
+					case sub <- frame:
+					default: // slow subscriber: drop the frame, not the sweep
+					}
+				}
+			}
+		}
+		m.mu.Unlock()
+	}
+}
+
+// apply folds one outcome into the state. Caller holds mu.
+func (m *Monitor) apply(o runner.Outcome) {
+	w := m.workers[o.Worker]
+	if w == nil {
+		w = &WorkerStatus{Worker: o.Worker}
+		m.workers[o.Worker] = w
+	}
+	if !o.Done {
+		m.inFlight++
+		w.Busy, w.Index = true, o.Index
+		w.Label = fmt.Sprintf("%s/%s seed %d", o.Cfg.Mechanism, o.Cfg.Lock, o.Cfg.Seed)
+		return
+	}
+	m.inFlight--
+	w.Busy, w.Label = false, ""
+	m.complete++
+	if o.Err != nil {
+		m.failed++
+	}
+	now := time.Now()
+	m.recent = append(m.recent, now)
+	cut := 0
+	for cut < len(m.recent) && now.Sub(m.recent[cut]) > rateWindow {
+		cut++
+	}
+	m.recent = m.recent[cut:]
+	if o.Snapshot != nil {
+		for _, kv := range o.Snapshot.Values {
+			m.counters[kv.Name] += kv.Value
+		}
+	}
+}
+
+// statusLocked assembles the public Status. Caller holds mu.
+func (m *Monitor) statusLocked() Status {
+	st := Status{
+		Completed:      m.complete,
+		Failed:         m.failed,
+		InFlight:       m.inFlight,
+		ElapsedSeconds: time.Since(m.start).Seconds(),
+	}
+	if n := len(m.recent); n > 0 {
+		span := time.Since(m.recent[0]).Seconds()
+		if span < 1 {
+			span = 1
+		}
+		st.RunsPerSecond = float64(n) / span
+	}
+	for _, w := range m.workers {
+		st.Workers = append(st.Workers, *w)
+	}
+	sort.Slice(st.Workers, func(i, j int) bool { return st.Workers[i].Worker < st.Workers[j].Worker })
+	if len(m.counters) > 0 {
+		st.Counters = make(map[string]uint64, len(m.counters))
+		for k, v := range m.counters {
+			st.Counters[k] = v
+		}
+	}
+	return st
+}
+
+// Status returns a consistent copy of the current state.
+func (m *Monitor) Status() Status {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.statusLocked()
+}
+
+// handleVars serves the full status as JSON (expvar-style).
+func (m *Monitor) handleVars(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(m.Status())
+}
+
+// handleText serves the human-readable progress page.
+func (m *Monitor) handleText(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	st := m.Status()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	var b strings.Builder
+	fmt.Fprintf(&b, "inpg sweep monitor\n")
+	fmt.Fprintf(&b, "completed %d (%d failed), %d in flight, elapsed %.1fs, %.2f runs/s\n\n",
+		st.Completed, st.Failed, st.InFlight, st.ElapsedSeconds, st.RunsPerSecond)
+	for _, ws := range st.Workers {
+		if ws.Busy {
+			fmt.Fprintf(&b, "worker %2d: run %4d  %s\n", ws.Worker, ws.Index, ws.Label)
+		} else {
+			fmt.Fprintf(&b, "worker %2d: idle\n", ws.Worker)
+		}
+	}
+	if len(st.Counters) > 0 {
+		names := make([]string, 0, len(st.Counters))
+		for k := range st.Counters {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(&b, "\naggregated counters over completed runs:\n")
+		for _, k := range names {
+			fmt.Fprintf(&b, "  %-32s %d\n", k, st.Counters[k])
+		}
+	}
+	fmt.Fprint(w, b.String())
+}
+
+// handleEvents serves an SSE stream: one status frame per drained
+// outcome, until the client disconnects or the monitor closes.
+func (m *Monitor) handleEvents(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+
+	sub := make(chan []byte, 16)
+	m.mu.Lock()
+	m.subs[sub] = struct{}{}
+	first, _ := json.Marshal(m.statusLocked())
+	m.mu.Unlock()
+	defer func() {
+		m.mu.Lock()
+		delete(m.subs, sub)
+		m.mu.Unlock()
+	}()
+
+	fmt.Fprintf(w, "data: %s\n\n", first)
+	fl.Flush()
+	for {
+		select {
+		case frame := <-sub:
+			fmt.Fprintf(w, "data: %s\n\n", frame)
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package monitor
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"inpg"
+	"inpg/internal/metrics"
+	"inpg/internal/runner"
+)
+
+// feed pushes a claim+completion pair for run i through the observer.
+func feed(obs runner.Observer, worker, i int, err error, snap *metrics.Snapshot) {
+	cfg := inpg.DefaultConfig()
+	cfg.Seed = int64(i)
+	obs(runner.Outcome{Index: i, Worker: worker, Cfg: cfg})
+	obs(runner.Outcome{Index: i, Worker: worker, Done: true, Cfg: cfg,
+		Err: err, Snapshot: snap, WallSeconds: 0.01})
+}
+
+// waitFor polls the monitor until cond holds or the deadline passes —
+// outcomes are applied asynchronously by the aggregator goroutine.
+func waitFor(t *testing.T, m *Monitor, cond func(Status) bool) Status {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := m.Status()
+		if cond(st) {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("monitor state never converged: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestMonitorAggregatesOutcomes(t *testing.T) {
+	m := New()
+	defer m.Close()
+	obs := m.Observer()
+
+	snap := &metrics.Snapshot{Values: []metrics.KV{{Name: "noc.injected", Value: 10}}}
+	feed(obs, 0, 0, nil, snap)
+	feed(obs, 1, 1, nil, snap)
+	feed(obs, 0, 2, errors.New("boom"), nil)
+	// Leave run 3 in flight on worker 1.
+	cfg := inpg.DefaultConfig()
+	obs(runner.Outcome{Index: 3, Worker: 1, Cfg: cfg})
+
+	st := waitFor(t, m, func(st Status) bool { return st.Completed == 3 && st.InFlight == 1 })
+	if st.Failed != 1 {
+		t.Fatalf("failed = %d, want 1", st.Failed)
+	}
+	if st.Counters["noc.injected"] != 20 {
+		t.Fatalf("aggregated counter = %d, want 20", st.Counters["noc.injected"])
+	}
+	if len(st.Workers) != 2 {
+		t.Fatalf("workers = %+v", st.Workers)
+	}
+	var busy *WorkerStatus
+	for i := range st.Workers {
+		if st.Workers[i].Busy {
+			busy = &st.Workers[i]
+		}
+	}
+	if busy == nil || busy.Worker != 1 || busy.Index != 3 || busy.Label == "" {
+		t.Fatalf("busy worker = %+v", busy)
+	}
+	if st.RunsPerSecond <= 0 {
+		t.Fatalf("runs/s = %f", st.RunsPerSecond)
+	}
+}
+
+func TestMonitorHTTPEndpoints(t *testing.T) {
+	m := New()
+	addr, err := m.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	obs := m.Observer()
+	feed(obs, 0, 0, nil, nil)
+	waitFor(t, m, func(st Status) bool { return st.Completed == 1 })
+
+	// /vars serves the status as JSON.
+	resp, err := http.Get("http://" + addr + "/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Completed != 1 {
+		t.Fatalf("/vars completed = %d", st.Completed)
+	}
+
+	// / serves the plain-text progress page.
+	resp, err = http.Get("http://" + addr + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var page strings.Builder
+	if _, err := fmt.Fprint(&page, readAll(t, resp)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(page.String(), "inpg sweep monitor") ||
+		!strings.Contains(page.String(), "completed 1") {
+		t.Fatalf("progress page:\n%s", page.String())
+	}
+
+	// /debug/pprof/ responds (registered on the monitor's own mux).
+	resp, err = http.Get("http://" + addr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof status = %d", resp.StatusCode)
+	}
+}
+
+func TestMonitorSSEStream(t *testing.T) {
+	m := New()
+	addr, err := m.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	resp, err := http.Get("http://" + addr + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type = %q", ct)
+	}
+	r := bufio.NewReader(resp.Body)
+
+	// The stream opens with the current state...
+	line, err := r.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Status
+	if err := json.Unmarshal([]byte(strings.TrimPrefix(strings.TrimSpace(line), "data: ")), &st); err != nil {
+		t.Fatalf("first frame %q: %v", line, err)
+	}
+
+	// ...and pushes a frame when an outcome lands.
+	feed(m.Observer(), 0, 0, nil, nil)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		line, err = r.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			if time.Now().After(deadline) {
+				t.Fatal("no completion frame before deadline")
+			}
+			continue
+		}
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &st); err != nil {
+			t.Fatalf("frame %q: %v", line, err)
+		}
+		if st.Completed == 1 {
+			return
+		}
+	}
+}
+
+// readAll drains a response body into a string.
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	var b strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		b.Write(buf[:n])
+		if err != nil {
+			return b.String()
+		}
+	}
+}

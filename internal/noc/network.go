@@ -44,6 +44,15 @@ type Network struct {
 	// fault is nil unless cfg.Fault enables injection; routers gate every
 	// fault-path branch on this single pointer.
 	fault *fault.Injector
+
+	// OnLinkRetry and OnLinkDead, when set, observe the link layer's
+	// retransmission machinery: a faulted flit transmission scheduled for
+	// retry (attempt counts from 1), and a link declared dead after its
+	// bounded retries were exhausted. Both fire only on fault-injected
+	// runs and follow the package's nil-check discipline — unset hooks
+	// cost nothing. The packet must not be retained past the call.
+	OnLinkRetry func(now sim.Cycle, at NodeID, toward Port, p *Packet, attempt int)
+	OnLinkDead  func(now sim.Cycle, at NodeID, toward Port, p *Packet)
 }
 
 // New builds and wires a mesh network and registers it with the engine.

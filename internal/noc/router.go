@@ -76,6 +76,7 @@ type RouterStats struct {
 	PacketsSeen     uint64 // head flits accepted at input VCs
 	LinkRetries     uint64 // flit transmissions that faulted and were retried
 	LinkFailures    uint64 // input VCs declared dead after retries exhausted
+	VCStalls        uint64 // switch requests denied for lack of downstream credit
 }
 
 // Router is one mesh router: NumPorts input ports × VCsPerPort virtual
@@ -309,6 +310,7 @@ func (r *Router) Tick(now sim.Cycle) {
 			continue // output port transiently stalled: no grant crosses it
 		}
 		if r.outCred[op][vc.outVC] <= 0 {
+			r.Stats.VCStalls++
 			continue
 		}
 		if grantedOut[op] {
@@ -380,9 +382,15 @@ func (r *Router) traverse(now sim.Cycle, p Port, v int) {
 		if k := r.net.fault.LinkFault(now, int(r.ID), int(vc.outPort), f.pkt.ID, f.idx); k != fault.None {
 			vc.retries++
 			r.Stats.LinkRetries++
+			if r.net.OnLinkRetry != nil {
+				r.net.OnLinkRetry(now, r.ID, vc.outPort, f.pkt, vc.retries)
+			}
 			if vc.retries > r.net.fault.MaxRetries() {
 				vc.dead = true
 				r.Stats.LinkFailures++
+				if r.net.OnLinkDead != nil {
+					r.net.OnLinkDead(now, r.ID, vc.outPort, f.pkt)
+				}
 			} else {
 				vc.nextTry = now + r.net.fault.Backoff(vc.retries)
 			}

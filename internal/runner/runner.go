@@ -15,8 +15,10 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"inpg"
+	"inpg/internal/metrics"
 )
 
 // Workers resolves a worker-count setting: values > 0 are used as given,
@@ -34,6 +36,13 @@ func Workers(n int) int {
 // The first error by index order is returned; once any invocation fails,
 // unstarted indices are abandoned (in-flight ones run to completion).
 func ForEach(n, workers int, fn func(i int) error) error {
+	return ForEachWorker(n, workers, func(_, i int) error { return fn(i) })
+}
+
+// ForEachWorker is ForEach with the claiming worker's index (0-based,
+// stable for the call's duration) passed alongside the run index, for
+// callers that report per-worker status.
+func ForEachWorker(n, workers int, fn func(worker, i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -55,7 +64,7 @@ func ForEach(n, workers int, fn func(i int) error) error {
 				if i >= n || failed.Load() {
 					return
 				}
-				if err := fn(i); err != nil {
+				if err := fn(g, i); err != nil {
 					errs[i] = err
 					failed.Store(true)
 				}
@@ -71,18 +80,62 @@ func ForEach(n, workers int, fn func(i int) error) error {
 	return nil
 }
 
+// Outcome reports one run's lifecycle to an observer. Each run produces
+// two outcomes: one with Done == false when a worker claims it, one with
+// Done == true when it finishes (successfully or not). Snapshot is the
+// run's final telemetry counter snapshot, nil unless the configuration
+// enabled metrics.
+type Outcome struct {
+	Index  int
+	Worker int
+	Done   bool
+	Cfg    inpg.Config
+	Res    *inpg.Results
+	Err    error
+	// Snapshot and WallSeconds are meaningful only when Done.
+	Snapshot    *metrics.Snapshot
+	WallSeconds float64
+}
+
+// Observer receives run outcomes. It is invoked from worker goroutines —
+// up to `workers` concurrently — so implementations must be safe for
+// concurrent use (the sweep monitor forwards into a channel; the manifest
+// writer touches only per-index files). The simulations themselves never
+// see the observer: there are no locks or channels on any sim hot path.
+type Observer func(Outcome)
+
 // Run executes every configuration, each complete simulation on its own
 // goroutine with at most workers concurrent (Workers semantics), and
 // returns the results in submission order. On failure the remaining
 // unstarted runs are abandoned and the lowest-index error is returned.
 func Run(cfgs []inpg.Config, workers int) ([]*inpg.Results, error) {
+	return RunObserved(cfgs, workers, nil)
+}
+
+// RunObserved is Run with per-run lifecycle reporting: obs (when non-nil)
+// sees a claim outcome and a completion outcome for every run, carrying
+// the run's results, error, wall time and — on metered configurations —
+// its final counter snapshot.
+func RunObserved(cfgs []inpg.Config, workers int, obs Observer) ([]*inpg.Results, error) {
 	results := make([]*inpg.Results, len(cfgs))
-	err := ForEach(len(cfgs), workers, func(i int) error {
-		sys, err := inpg.New(cfgs[i])
-		if err != nil {
-			return err
+	err := ForEachWorker(len(cfgs), workers, func(worker, i int) error {
+		if obs != nil {
+			obs(Outcome{Index: i, Worker: worker, Cfg: cfgs[i]})
 		}
-		results[i], err = sys.Run()
+		start := time.Now()
+		sys, err := inpg.New(cfgs[i])
+		var res *inpg.Results
+		var snap *metrics.Snapshot
+		if err == nil {
+			res, err = sys.Run()
+			results[i] = res
+			snap = sys.MetricsSnapshot()
+		}
+		if obs != nil {
+			obs(Outcome{Index: i, Worker: worker, Done: true, Cfg: cfgs[i],
+				Res: res, Err: err, Snapshot: snap,
+				WallSeconds: time.Since(start).Seconds()})
+		}
 		return err
 	})
 	if err != nil {

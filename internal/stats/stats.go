@@ -5,6 +5,7 @@ package stats
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -13,10 +14,20 @@ import (
 	"inpg/internal/sim"
 )
 
+// DefaultMaxBins bounds a histogram's bin array. One pathological sample —
+// a watchdog-scale cycle count landing in an RTT histogram — must not
+// allocate v/BinWidth slots; anything at or past the cap is folded into a
+// single overflow bin instead.
+const DefaultMaxBins = 1 << 12
+
 // Histogram is a fixed-bin-width histogram of cycle counts.
 type Histogram struct {
 	BinWidth uint64
+	// MaxBins caps len(bins); samples at or beyond MaxBins*BinWidth land
+	// in the overflow bin. 0 selects DefaultMaxBins.
+	MaxBins  int
 	bins     []uint64
+	overflow uint64 // samples >= MaxBins*BinWidth
 	count    uint64
 	sum      uint64
 	max      uint64
@@ -30,22 +41,40 @@ func NewHistogram(binWidth uint64) *Histogram {
 	return &Histogram{BinWidth: binWidth}
 }
 
+// maxBins resolves the bin cap.
+func (h *Histogram) maxBins() int {
+	if h.MaxBins > 0 {
+		return h.MaxBins
+	}
+	return DefaultMaxBins
+}
+
 // Add records one sample.
 func (h *Histogram) Add(v uint64) {
-	b := int(v / h.BinWidth)
-	for len(h.bins) <= b {
-		h.bins = append(h.bins, 0)
-	}
-	h.bins[b]++
 	h.count++
 	h.sum += v
 	if v > h.max {
 		h.max = v
 	}
+	b := int(v / h.BinWidth)
+	if cap := h.maxBins(); b >= cap {
+		h.overflow++
+		return
+	}
+	for len(h.bins) <= b {
+		h.bins = append(h.bins, 0)
+	}
+	h.bins[b]++
 }
 
 // Count returns the number of samples.
 func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum returns the sum of all samples.
+func (h *Histogram) Sum() uint64 { return h.sum }
+
+// Overflow returns the number of samples folded into the overflow bin.
+func (h *Histogram) Overflow() uint64 { return h.overflow }
 
 // Mean returns the sample mean.
 func (h *Histogram) Mean() float64 {
@@ -60,6 +89,9 @@ func (h *Histogram) Max() uint64 { return h.max }
 
 // Percentile returns the smallest bin upper edge below which at least
 // fraction p (0 < p ≤ 1) of the samples fall. With no samples it returns 0.
+//
+// The rank is the ceiling of p*count: p=0.99 over 150 samples targets the
+// 149th ordered sample, not the 148th a truncating conversion would pick.
 func (h *Histogram) Percentile(p float64) uint64 {
 	if h.count == 0 {
 		return 0
@@ -67,7 +99,7 @@ func (h *Histogram) Percentile(p float64) uint64 {
 	if p > 1 {
 		p = 1
 	}
-	target := uint64(p * float64(h.count))
+	target := uint64(math.Ceil(p * float64(h.count)))
 	if target == 0 {
 		target = 1
 	}
@@ -78,16 +110,22 @@ func (h *Histogram) Percentile(p float64) uint64 {
 			return uint64(i+1)*h.BinWidth - 1
 		}
 	}
+	// The rank lands in the overflow bin (or numeric slack left the
+	// cumulative count short): the best bound we hold is the true maximum.
 	return h.max
 }
 
-// Bins returns (low-edge, count) pairs for non-empty bins in order.
+// Bins returns (low-edge, count) pairs for non-empty bins in order,
+// with any overflow samples reported as one final bin at the cap edge.
 func (h *Histogram) Bins() [][2]uint64 {
 	var out [][2]uint64
 	for i, c := range h.bins {
 		if c > 0 {
 			out = append(out, [2]uint64{uint64(i) * h.BinWidth, c})
 		}
+	}
+	if h.overflow > 0 {
+		out = append(out, [2]uint64{uint64(h.maxBins()) * h.BinWidth, h.overflow})
 	}
 	return out
 }

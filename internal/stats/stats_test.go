@@ -158,6 +158,83 @@ func TestTimelineMaxThreadFilter(t *testing.T) {
 	}
 }
 
+// A single pathological sample — a watchdog-scale cycle count — must fold
+// into the overflow bin instead of allocating v/BinWidth slots.
+func TestHistogramPathologicalSampleCapped(t *testing.T) {
+	h := NewHistogram(5)
+	h.Add(3)
+	h.Add(1 << 40) // would be ~2^37 bins uncapped
+	if h.Overflow() != 1 {
+		t.Fatalf("overflow = %d, want 1", h.Overflow())
+	}
+	if len(h.bins) > DefaultMaxBins {
+		t.Fatalf("bins grew to %d despite cap %d", len(h.bins), DefaultMaxBins)
+	}
+	if h.Count() != 2 || h.Max() != 1<<40 || h.Sum() != 3+1<<40 {
+		t.Fatalf("count/max/sum wrong: %d %d %d", h.Count(), h.Max(), h.Sum())
+	}
+	bins := h.Bins()
+	last := bins[len(bins)-1]
+	if last[0] != uint64(DefaultMaxBins)*5 || last[1] != 1 {
+		t.Fatalf("overflow bin = %v, want edge %d count 1", last, DefaultMaxBins*5)
+	}
+	// Conservation: bin counts still sum to the sample count.
+	var sum uint64
+	for _, b := range bins {
+		sum += b[1]
+	}
+	if sum != h.Count() {
+		t.Fatalf("bin sum %d != count %d", sum, h.Count())
+	}
+	// A percentile rank landing in the overflow bin reports the true max.
+	if p := h.Percentile(1.0); p != 1<<40 {
+		t.Fatalf("p100 = %d, want the max", p)
+	}
+}
+
+func TestHistogramExplicitMaxBins(t *testing.T) {
+	h := NewHistogram(1)
+	h.MaxBins = 4
+	for v := uint64(0); v < 10; v++ {
+		h.Add(v)
+	}
+	if len(h.bins) != 4 {
+		t.Fatalf("bins = %d, want 4", len(h.bins))
+	}
+	if h.Overflow() != 6 {
+		t.Fatalf("overflow = %d, want 6 (samples 4..9)", h.Overflow())
+	}
+}
+
+// Percentile must use the ceiling rank: with 150 unit-bin samples, p99
+// targets the ceil(0.99*150)=149th ordered sample, not the truncated
+// 148th. Bin width 1 makes the expected edges exact.
+func TestHistogramPercentileExactRank(t *testing.T) {
+	h := NewHistogram(1)
+	for v := uint64(0); v < 150; v++ {
+		h.Add(v)
+	}
+	// ceil(0.99*150) = 149 → 149th ordered sample is value 148, in bin
+	// [148,149) whose reported upper edge is 148.
+	if p := h.Percentile(0.99); p != 148 {
+		t.Fatalf("p99 over 150 samples = %d, want 148", p)
+	}
+	// ceil(0.5*150) = 75 → value 74.
+	if p := h.Percentile(0.50); p != 74 {
+		t.Fatalf("p50 over 150 samples = %d, want 74", p)
+	}
+	// A two-sample histogram: p=0.51 must already select the second sample.
+	h2 := NewHistogram(1)
+	h2.Add(10)
+	h2.Add(20)
+	if p := h2.Percentile(0.51); p != 20 {
+		t.Fatalf("p51 of {10,20} = %d, want 20", p)
+	}
+	if p := h2.Percentile(0.50); p != 10 {
+		t.Fatalf("p50 of {10,20} = %d, want 10", p)
+	}
+}
+
 func TestHistogramPercentiles(t *testing.T) {
 	h := NewHistogram(1)
 	for v := uint64(1); v <= 100; v++ {

@@ -35,6 +35,12 @@ const (
 	// LockAcquire / LockRelease: thread-level lock transitions.
 	LockAcquire
 	LockRelease
+	// LinkRetry: a flit transmission faulted on a link and was scheduled
+	// for retransmission (fault injection, PR 3's link layer).
+	LinkRetry
+	// LinkDead: a link exhausted its bounded retries and was declared
+	// dead; the wormhole channel through it is wedged for good.
+	LinkDead
 )
 
 // String names the kind.
@@ -54,6 +60,10 @@ func (k Kind) String() string {
 		return "acquire"
 	case LockRelease:
 		return "release"
+	case LinkRetry:
+		return "link-retry"
+	case LinkDead:
+		return "link-dead"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
