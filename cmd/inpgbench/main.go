@@ -26,6 +26,24 @@ import (
 	"inpg/internal/runner"
 )
 
+// parseCells parses a comma-separated list of non-negative cell indexes;
+// a bad element is fatal (a silently ignored chaos cell would fake a pass).
+func parseCells(s string) []int {
+	if s == "" {
+		return nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		var n int
+		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &n); err != nil || n < 0 {
+			fmt.Fprintf(os.Stderr, "inpgbench: bad cell index %q\n", part)
+			os.Exit(2)
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
 func main() {
 	var (
 		fig     = flag.String("fig", "", "comma-separated figure list: t1,2,7,8,9,10,11,12,13,14,15,abl,res")
@@ -47,6 +65,11 @@ func main() {
 		mEvery  = flag.Int("metrics-every", 0, "sample the registry every N cycles (requires -metrics)")
 		manDir  = flag.String("manifest-dir", "", "write one JSON run manifest per simulation into this directory")
 		monAddr = flag.String("monitor", "", "serve the live sweep monitor (progress page, /vars JSON, /events SSE, pprof) on this address, e.g. :8080")
+		retries = flag.Int("retries", 0, "re-run each failed cell up to N times with deterministic backoff before quarantining it")
+		runTO   = flag.Duration("run-timeout", 0, "per-run wall-clock deadline (0 = none); overruns fail their cell with diagnostics")
+		resume  = flag.String("resume", "", "resume from this manifest directory: skip cells whose manifest records a successful run with a matching config digest")
+		chPanic = flag.String("chaos-panic", "", "comma-separated sweep cell indexes to crash with an injected panic (chaos testing)")
+		chDead  = flag.String("chaos-deadline", "", "comma-separated sweep cell indexes to fail with an unmeetable wall-time budget (chaos testing)")
 	)
 	flag.Parse()
 
@@ -81,7 +104,14 @@ func main() {
 
 	o := experiments.Options{Scale: *scale, Seed: *seed, Seeds: *seeds, Quick: *quick, Workers: *workers, Compat: *compat,
 		FaultRate: *fRate, FaultSeed: *fSeed, WatchdogWindow: *wdog,
-		Metrics: *metrics, MetricsSampleEvery: *mEvery, ManifestDir: *manDir}
+		Metrics: *metrics, MetricsSampleEvery: *mEvery, ManifestDir: *manDir,
+		Retries: *retries, RunTimeout: *runTO, Resume: *resume,
+		ChaosPanicCells: parseCells(*chPanic), ChaosDeadlineCells: parseCells(*chDead)}
+	// Resuming implies journaling: re-run cells land their manifests next
+	// to the ones being reused, so a further resume sees a complete set.
+	if o.Resume != "" && o.ManifestDir == "" {
+		o.ManifestDir = o.Resume
+	}
 	if *monAddr != "" {
 		mon := monitor.New()
 		addr, err := mon.Serve(*monAddr)

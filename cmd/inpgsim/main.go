@@ -44,6 +44,7 @@ func main() {
 		fRate    = flag.Float64("faultrate", 0, "combined transient link/port fault rate (0 = faults off)")
 		fSeed    = flag.Int64("faultseed", 0, "fault injector seed (0 = derived from -seed)")
 		wdog     = flag.Int64("watchdog", 0, "liveness watchdog window in cycles (0 = default, <0 = off)")
+		wallTime = flag.Duration("walltime", 0, "wall-clock budget for the run (0 = none); an overrun fails with a timeout diagnosis")
 		seeds    = flag.Int("seeds", 1, "run this many consecutive seeds and report the spread")
 		workers  = flag.Int("workers", 0, "concurrent simulations for -seeds (0 = GOMAXPROCS)")
 		verbose  = flag.Bool("v", false, "print per-thread breakdown")
@@ -88,6 +89,7 @@ func main() {
 	cfg.BigRouters = *brs
 	cfg.BarrierEntries = *barrier
 	cfg.WatchdogWindow = *wdog
+	cfg.WallTimeBudget = *wallTime
 	cfg.Metrics = *metricsF
 	cfg.MetricsSampleEvery = *mEvery
 	if *traceOut != "" && cfg.TraceCapacity == 0 {

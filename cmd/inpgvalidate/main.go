@@ -27,12 +27,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: inpgvalidate <manifest.json|trace.json|dir>...")
 		os.Exit(2)
 	}
-	checked := 0
+	checked, failedRuns := 0, 0
 	for _, arg := range os.Args[1:] {
 		info, err := os.Stat(arg)
 		fatal(err)
 		if !info.IsDir() {
-			checked += checkFile(arg)
+			n, f := checkFile(arg)
+			checked, failedRuns = checked+n, failedRuns+f
 			continue
 		}
 		entries, err := os.ReadDir(arg)
@@ -41,25 +42,43 @@ func main() {
 			if e.IsDir() {
 				continue
 			}
-			checked += checkFile(filepath.Join(arg, e.Name()))
+			n, f := checkFile(filepath.Join(arg, e.Name()))
+			checked, failedRuns = checked+n, failedRuns+f
 		}
 	}
 	if checked == 0 {
 		fatal(fmt.Errorf("no manifests or traces found"))
 	}
+	// A failed-run manifest is a valid artifact — the record of a
+	// quarantined cell — so it counts toward validity but is reported.
+	if failedRuns > 0 {
+		fmt.Printf("inpgvalidate: %d artifacts valid (%d record failed runs)\n", checked, failedRuns)
+		return
+	}
 	fmt.Printf("inpgvalidate: %d artifacts valid\n", checked)
 }
 
 // checkFile validates one artifact by name convention; unrecognized
-// files are skipped (directories hold figure CSVs too).
-func checkFile(path string) int {
+// files are skipped (directories hold figure CSVs too). The second
+// return counts manifests recording failed runs.
+func checkFile(path string) (int, int) {
 	base := filepath.Base(path)
 	switch {
 	case strings.HasPrefix(base, "manifest-") && strings.HasSuffix(base, ".json"):
 		m, err := manifest.ReadFile(path)
 		fatal(err)
+		if m.Status == manifest.StatusFailed {
+			diag := ""
+			if m.Diag != nil {
+				diag = fmt.Sprintf(", %d/%d threads unfinished at cycle %d",
+					m.Diag.Unfinished, m.Diag.Threads, m.Diag.Cycle)
+			}
+			fmt.Printf("ok %s (%s/%d, %s/%s) FAILED cause=%s attempt=%d%s\n",
+				path, m.Sweep, m.Index, m.Mechanism, m.Lock, m.Cause, m.Attempt, diag)
+			return 1, 1
+		}
 		fmt.Printf("ok %s (%s/%d, %s/%s)\n", path, m.Sweep, m.Index, m.Mechanism, m.Lock)
-		return 1
+		return 1, 0
 	case strings.HasSuffix(base, ".trace.json"):
 		data, err := os.ReadFile(path)
 		fatal(err)
@@ -67,9 +86,9 @@ func checkFile(path string) int {
 			fatal(fmt.Errorf("%s: %w", path, err))
 		}
 		fmt.Printf("ok %s\n", path)
-		return 1
+		return 1, 0
 	}
-	return 0
+	return 0, 0
 }
 
 func fatal(err error) {

@@ -1,9 +1,11 @@
 package inpg
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
+	"time"
 
 	"inpg/internal/coherence"
 	"inpg/internal/noc"
@@ -17,6 +19,50 @@ import (
 // MaxCycles deadlock bound is 25× longer — so a wedged run is diagnosed
 // early without ever tripping on a healthy one.
 const DefaultWatchdogWindow = 2_000_000
+
+// AbortCheckInterval is the cycle cadence of cooperative-cancellation
+// checks (WallTimeBudget, AbortOn): coarse enough that a run pays one
+// predictable comparison per cycle, fine enough that even millisecond
+// deadlines trip within a few thousand simulated cycles.
+const AbortCheckInterval = 4096
+
+// ErrWallTimeBudget is the abort cause reported when a run exceeds its
+// Config.WallTimeBudget; it surfaces wrapped in a timeout-reason
+// *SimulationError.
+var ErrWallTimeBudget = errors.New("inpg: wall-time budget exhausted")
+
+// AbortOn makes the next Run watch ctx at coarse cycle granularity
+// (AbortCheckInterval) and fail with a *SimulationError — reason "timeout"
+// on a deadline, "canceled" on cancellation, Diagnostics attached — once
+// ctx is done. This is the runner's cooperative-cancellation hook for
+// overrunning runs; the check never touches simulation state, so runs that
+// finish before ctx fires are byte-identical to unwatched ones.
+func (s *System) AbortOn(ctx context.Context) { s.abortCtx = ctx }
+
+// armAbort installs the engine abort check when either cancellation source
+// (context or wall-time budget) is configured. Called at the top of Run so
+// the wall-time clock starts with the run itself.
+func (s *System) armAbort() {
+	ctx := s.abortCtx
+	budget := s.cfg.WallTimeBudget
+	if ctx == nil && budget <= 0 {
+		return
+	}
+	start := time.Now()
+	s.eng.SetAbortCheck(AbortCheckInterval, func() error {
+		if ctx != nil {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			default:
+			}
+		}
+		if budget > 0 && time.Since(start) > budget {
+			return ErrWallTimeBudget
+		}
+		return nil
+	})
+}
 
 // ThreadDiag is one unfinished thread's state at the moment of failure.
 type ThreadDiag struct {
@@ -85,9 +131,11 @@ func (d *Diagnostics) String() string {
 // SimulationError is the typed failure System.Run returns: why the run
 // failed, when, and a full Diagnostics snapshot taken while the stuck state
 // was still inspectable. Unwrap exposes the underlying typed cause
-// (*sim.StallError, *sim.BudgetError or *coherence.ProtocolError).
+// (*sim.StallError, *sim.BudgetError, *sim.AbortError or
+// *coherence.ProtocolError).
 type SimulationError struct {
-	// Reason is "watchdog", "cycle-budget", "protocol" or "error".
+	// Reason is "watchdog", "cycle-budget", "protocol", "timeout",
+	// "canceled" or "error".
 	Reason     string
 	Cycle      sim.Cycle
 	Unfinished int // threads that had not completed their program
@@ -134,6 +182,7 @@ func (s *System) wrapError(err error) error {
 	var stall *sim.StallError
 	var budget *sim.BudgetError
 	var proto *coherence.ProtocolError
+	var abort *sim.AbortError
 	switch {
 	case errors.As(err, &stall):
 		reason = "watchdog"
@@ -141,6 +190,12 @@ func (s *System) wrapError(err error) error {
 		reason = "cycle-budget"
 	case errors.As(err, &proto):
 		reason = "protocol"
+	case errors.As(err, &abort):
+		// An abort is a deadline unless the controller explicitly canceled.
+		reason = "timeout"
+		if errors.Is(abort.Err, context.Canceled) {
+			reason = "canceled"
+		}
 	}
 	unfinished := 0
 	for _, th := range s.threads {

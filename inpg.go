@@ -29,7 +29,12 @@
 package inpg
 
 import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"fmt"
+	"time"
 
 	"inpg/internal/bigrouter"
 	"inpg/internal/chipmodel"
@@ -180,6 +185,15 @@ type Config struct {
 	// MaxCycles bounds the simulation (deadlock watchdog).
 	MaxCycles uint64
 
+	// WallTimeBudget, when positive, bounds the run's host wall-clock time:
+	// Run aborts with a timeout-reason *SimulationError (Diagnostics
+	// attached) once the budget elapses, checked cooperatively every
+	// AbortCheckInterval cycles. Zero leaves wall time unbounded. The
+	// budget reads host time, so it is the one deliberately
+	// nondeterministic knob: it never fires on a run that finishes in
+	// budget, leaving on-time runs byte-identical to unbudgeted ones.
+	WallTimeBudget time.Duration
+
 	// RecordTimeline captures per-thread phase transitions for the first
 	// TimelineThreads threads (Figure 9 profiles the first 8).
 	RecordTimeline  bool
@@ -237,6 +251,21 @@ type Config struct {
 	AlwaysTick bool
 }
 
+// Digest returns a short stable fingerprint of the configuration: the hex
+// prefix of a SHA-256 over its canonical JSON encoding. Two configs digest
+// equal exactly when every field (workload, seed, fault plan, budgets)
+// matches, which is what sweep resume and retry backoff key on.
+func (c Config) Digest() string {
+	data, err := json.Marshal(c)
+	if err != nil {
+		// Config is a plain struct of marshalable fields; this cannot
+		// happen short of memory corruption.
+		panic(fmt.Sprintf("inpg: config digest: %v", err))
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:8])
+}
+
 // DefaultConfig returns the paper's Table 1 platform with the Linux-4.2
 // default queue spin-lock and a medium workload.
 func DefaultConfig() Config {
@@ -276,6 +305,9 @@ type System struct {
 	sampler     *metrics.Sampler
 	lockHold    *stats.Histogram
 	lockHandoff *stats.Histogram
+
+	// abortCtx, when set via AbortOn, cancels the run cooperatively.
+	abortCtx context.Context
 }
 
 // lockSet multiplexes critical sections over several independent locks:
@@ -565,6 +597,8 @@ type Results struct {
 	Parallel, COH, Sleep, CSE uint64
 	// CSCompleted is the total critical sections executed.
 	CSCompleted int
+	// Sleeps is the total QSL sleep episodes across threads.
+	Sleeps int
 	// LCOPercent is the share of aggregate thread time spent with
 	// lock-protocol memory operations outstanding (Figure 2's metric).
 	LCOPercent float64
@@ -607,6 +641,7 @@ func (r *Results) COHTotal() uint64 { return r.COH + r.Sleep }
 // Run executes the system until every thread finishes its program and
 // returns the collected results.
 func (s *System) Run() (*Results, error) {
+	s.armAbort()
 	for _, th := range s.threads {
 		th.Start()
 	}
@@ -641,6 +676,7 @@ func (s *System) collect() *Results {
 		r.Sleep += b.Sleep
 		r.CSE += b.CSE
 		r.CSCompleted += th.CSCompleted
+		r.Sleeps += th.SleepCount
 		r.PerThread = append(r.PerThread, ThreadResult{
 			ID: th.ID, Parallel: b.Parallel, COH: b.COH, Sleep: b.Sleep,
 			CSE: b.CSE, CSCompleted: th.CSCompleted, Sleeps: th.SleepCount,

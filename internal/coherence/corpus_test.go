@@ -1,0 +1,32 @@
+package coherence
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// corpusEntry is the committed fuzz corpus file pinning the floating-
+// AcksComplete regression (see FuzzCoherence): a delayed ack from the
+// lock-probe fast path once completed a later transaction by the same
+// requester and stranded its ack wait, until Message.Seq matching fixed it.
+const corpusEntry = "testdata/fuzz/FuzzCoherence/bb103527b348d162"
+
+// TestFuzzCorpusRegressionReplay replays the committed corpus entry — seed
+// 186, fault-rate byte 0x1d — as a plain unit test, so the regression stays
+// covered by every `go test` run and by -run filters that never reach the
+// fuzz target. The file is parsed first so the replay cannot silently
+// drift from what the corpus actually pins.
+func TestFuzzCorpusRegressionReplay(t *testing.T) {
+	data, err := os.ReadFile(corpusEntry)
+	if err != nil {
+		t.Fatalf("committed fuzz corpus entry missing: %v", err)
+	}
+	for _, want := range []string{"int64(186)", `byte('\x1d')`} {
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("corpus entry no longer encodes %s; update this replay:\n%s", want, data)
+		}
+	}
+	// The fuzz target maps the rate byte as ratePct%16 per cent.
+	fuzzRun(t, 186, float64(0x1d%16)/100)
+}

@@ -29,6 +29,8 @@ type AblationResult struct {
 	Name string
 	What string // one-line description of the knob
 	Rows []AblationRow
+	// Missing annotates settings whose run produced no results.
+	Missing []Missing
 }
 
 // baseAblationConfig returns the contended reference point.
@@ -40,14 +42,6 @@ func baseAblationConfig(o Options) inpg.Config {
 	return cfg
 }
 
-func sleepsOf(r *inpg.Results) int {
-	n := 0
-	for _, t := range r.PerThread {
-		n += t.Sleeps
-	}
-	return n
-}
-
 func ablate(name, what string, settings []string, mk func(i int, cfg *inpg.Config)) func(Options) (*AblationResult, error) {
 	return func(o Options) (*AblationResult, error) {
 		out := &AblationResult{Name: name, What: what}
@@ -56,19 +50,22 @@ func ablate(name, what string, settings []string, mk func(i int, cfg *inpg.Confi
 			cfgs[i] = baseAblationConfig(o)
 			mk(i, &cfgs[i])
 		}
-		results, err := runAll(o, "ablation", cfgs)
+		// Each knob gets its own sweep name so manifests from different
+		// ablations never collide on (sweep, index).
+		results, missing, err := runAll(o, "ablation-"+name, cfgs)
 		if err != nil {
 			return nil, fmt.Errorf("ablation %s: %w", name, err)
 		}
+		out.Missing = missing
 		for i, s := range settings {
-			res := results[i]
+			res := cell(results, i)
 			out.Rows = append(out.Rows, AblationRow{
 				Setting:   s,
 				Runtime:   res.Runtime,
 				COH:       res.COHTotal(),
 				RTTMean:   res.RTTMean,
 				EarlyInvs: res.EarlyInvs,
-				Sleeps:    sleepsOf(res),
+				Sleeps:    res.Sleeps,
 			})
 		}
 		return out, nil
@@ -151,5 +148,6 @@ func (a *AblationResult) Render() string {
 		fmt.Fprintf(&b, "%-12s %10d %12d %9.1f %10d %7d\n",
 			r.Setting, r.Runtime, r.COH, r.RTTMean, r.EarlyInvs, r.Sleeps)
 	}
+	renderMissing(&b, a.Missing)
 	return b.String()
 }

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"inpg"
 	"inpg/internal/fault"
@@ -73,6 +74,77 @@ type Options struct {
 	// live sweep monitor's feed. It is called from worker goroutines and
 	// must be safe for concurrent use.
 	Observer runner.Observer
+	// Retries re-attempts each failed run up to this many times with
+	// deterministic jittered backoff before quarantining its cell. Zero —
+	// the default — fails a cell on its first error. Retries never engage
+	// on clean runs, so figure outputs stay byte-identical.
+	Retries int
+	// RunTimeout, when positive, bounds each run's wall-clock time via
+	// cooperative cancellation; an overrunning run fails its cell with a
+	// timeout-class error carrying full diagnostics.
+	RunTimeout time.Duration
+	// Resume, when set, names a manifest directory from a prior
+	// invocation: cells whose manifest records a successful run of a
+	// configuration with a matching digest are skipped and their results
+	// reconstructed from the manifest; only the gaps re-run.
+	Resume string
+	// ChaosPanicCells and ChaosDeadlineCells inject failures into the
+	// named sweep cells (by submission index) — panics at attempt start,
+	// or a wall-time budget so tight the run always times out. They exist
+	// for chaos smoke tests of the keep-going machinery; empty slices —
+	// the default — leave every sweep untouched.
+	ChaosPanicCells    []int
+	ChaosDeadlineCells []int
+}
+
+// chaosDeadline is the wall-time budget ChaosDeadlineCells impose: below
+// any real run's first cooperative abort check, so the cell always fails
+// with a timeout regardless of host speed.
+const chaosDeadline = time.Nanosecond
+
+// Missing annotates one sweep cell that produced no results after every
+// configured attempt: which cell, and the final typed failure. Figures
+// carry their Missing list and render it after the table instead of dying
+// on the first bad cell.
+type Missing struct {
+	Sweep string
+	Index int
+	Cause runner.Cause
+	Err   error
+}
+
+// String renders the annotation in the stable MISSING(cell, cause) form.
+func (m Missing) String() string {
+	return fmt.Sprintf("MISSING(%s/%d, %s): %v", m.Sweep, m.Index, m.Cause, m.Err)
+}
+
+// missingCells converts a per-index error vector into Missing annotations.
+func missingCells(sweep string, errs []*runner.RunError) []Missing {
+	var out []Missing
+	for i, err := range errs {
+		if err != nil {
+			out = append(out, Missing{Sweep: sweep, Index: i, Cause: err.Cause, Err: err})
+		}
+	}
+	return out
+}
+
+// renderMissing appends the annotations to a figure rendering; a clean
+// sweep appends nothing, keeping fault-free output byte-identical.
+func renderMissing(b *strings.Builder, missing []Missing) {
+	for _, m := range missing {
+		fmt.Fprintf(b, "%s\n", m)
+	}
+}
+
+// cell returns the i'th result, substituting an empty Results for a
+// missing cell so partial aggregation can proceed; the gap itself is
+// reported through the sweep's Missing annotations.
+func cell(results []*inpg.Results, i int) *inpg.Results {
+	if i < len(results) && results[i] != nil {
+		return results[i]
+	}
+	return &inpg.Results{}
 }
 
 // DefaultOptions returns the options used for the published EXPERIMENTS.md
@@ -141,12 +213,86 @@ func Run(cfg inpg.Config) (*inpg.Results, error) {
 }
 
 // runAll executes a batch of configurations across Options.Workers cores
-// and returns the results in submission order. Sweeps build their full
-// configuration list up front, submit it here, and aggregate from the
-// ordered results, so their figures are identical for any worker count.
-// sweep names the batch in run manifests and monitor feeds.
-func runAll(o Options, sweep string, cfgs []inpg.Config) ([]*inpg.Results, error) {
-	return runner.RunObserved(cfgs, o.Workers, o.observer(sweep))
+// in keep-going mode and returns the results in submission order, one nil
+// slot plus one Missing annotation per cell that failed every configured
+// attempt. Sweeps build their full configuration list up front, submit it
+// here, and aggregate from the ordered results, so their figures are
+// identical for any worker count; on fault-free sweeps the Missing list
+// is empty and results match the fail-fast path bit for bit. sweep names
+// the batch in run manifests and monitor feeds. The error return is
+// reserved for infrastructure failures (an unreadable resume directory),
+// never for individual runs.
+func runAll(o Options, sweep string, cfgs []inpg.Config) ([]*inpg.Results, []Missing, error) {
+	p := runner.Policy{
+		Workers:    o.Workers,
+		Retries:    o.Retries,
+		RunTimeout: o.RunTimeout,
+		Observer:   o.observer(sweep),
+		PreRun:     o.chaosPreRun(),
+		PreAttempt: o.chaosPreAttempt(),
+	}
+	var prefill []*inpg.Results
+	if o.Resume != "" {
+		prior, skippedFiles, err := manifest.ScanDir(o.Resume, sweep)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: resume scan %s: %w", sweep, o.Resume, err)
+		}
+		for _, path := range skippedFiles {
+			fmt.Fprintf(os.Stderr, "experiments: resume: ignoring invalid manifest %s\n", path)
+		}
+		prefill = make([]*inpg.Results, len(cfgs))
+		for i, cfg := range cfgs {
+			if m, ok := prior[i]; ok && m.Status == manifest.StatusOK && m.ConfigDigest == cfg.Digest() {
+				prefill[i] = m.ToResults()
+			}
+		}
+		p.Skip = func(i int) bool { return prefill[i] != nil }
+	}
+	results, errs := runner.RunResilient(cfgs, p)
+	for i, r := range prefill {
+		if r != nil && results[i] == nil {
+			results[i] = r
+		}
+	}
+	return results, missingCells(sweep, errs), nil
+}
+
+// chaosPreRun maps ChaosDeadlineCells onto a Policy.PreRun that imposes
+// an unmeetable wall-time budget on the named cells; nil when unused.
+func (o Options) chaosPreRun() func(int, inpg.Config) inpg.Config {
+	if len(o.ChaosDeadlineCells) == 0 {
+		return nil
+	}
+	cells := intSet(o.ChaosDeadlineCells)
+	return func(i int, cfg inpg.Config) inpg.Config {
+		if cells[i] {
+			cfg.WallTimeBudget = chaosDeadline
+		}
+		return cfg
+	}
+}
+
+// chaosPreAttempt maps ChaosPanicCells onto a Policy.PreAttempt that
+// panics at the start of the named cells' attempts; nil when unused.
+func (o Options) chaosPreAttempt() func(i, attempt int) {
+	if len(o.ChaosPanicCells) == 0 {
+		return nil
+	}
+	cells := intSet(o.ChaosPanicCells)
+	return func(i, attempt int) {
+		if cells[i] {
+			panic(fmt.Sprintf("chaos: injected panic in cell %d (attempt %d)", i, attempt))
+		}
+	}
+}
+
+// intSet builds a membership set from a cell-index list.
+func intSet(v []int) map[int]bool {
+	s := make(map[int]bool, len(v))
+	for _, x := range v {
+		s[x] = true
+	}
+	return s
 }
 
 // observer composes manifest emission with the caller-installed observer;
@@ -158,7 +304,9 @@ func (o Options) observer(sweep string) runner.Observer {
 		return nil
 	}
 	return func(out runner.Outcome) {
-		if out.Done && o.ManifestDir != "" {
+		// Skipped cells are resume hits: their manifest on disk is the
+		// good record being reused — never overwrite it with a blank one.
+		if out.Done && out.Status != runner.StatusSkipped && o.ManifestDir != "" {
 			m := manifest.Build(sweep, out.Index, out.Cfg, out.Res, out.Snapshot, out.WallSeconds, out.Err)
 			if _, err := m.WriteFile(o.ManifestDir); err != nil {
 				fmt.Fprintf(os.Stderr, "experiments: manifest %s/%d: %v\n", sweep, out.Index, err)

@@ -6,6 +6,7 @@ import (
 
 	"inpg"
 	"inpg/internal/noc"
+	"inpg/internal/runner"
 	"inpg/internal/workload"
 )
 
@@ -24,6 +25,9 @@ type Fig10Case struct {
 // Fig10Result compares Original and iNPG.
 type Fig10Result struct {
 	Cases []Fig10Case
+	// Missing annotates mechanisms whose run failed; their rows are
+	// absent from Cases.
+	Missing []Missing
 }
 
 // Fig10 reproduces Figure 10: the coherence Inv–Ack round-trip delay —
@@ -40,20 +44,23 @@ func Fig10(o Options) (*Fig10Result, error) {
 		return nil, err
 	}
 	r := &Fig10Result{}
-	for _, mech := range []inpg.Mechanism{inpg.Original, inpg.INPG} {
+	for mi, mech := range []inpg.Mechanism{inpg.Original, inpg.INPG} {
 		cfg := ConfigFor(p, mech, inpg.LockQSL, o)
 		// Maximum competition: negligible parallel phase, everyone at the
 		// lock; home pinned at core (5,6).
 		cfg.ParallelCycles = 50
 		cfg.ParallelJitter = 20
 		cfg.LockHomeNode = int(noc.Mesh{Width: 8, Height: 8}.ID(5, 6))
+		cfg.WallTimeBudget = o.RunTimeout
 		sys, err := inpg.New(cfg)
-		if err != nil {
-			return nil, err
+		var res *inpg.Results
+		if err == nil {
+			res, err = sys.Run()
 		}
-		res, err := sys.Run()
 		if err != nil {
-			return nil, fmt.Errorf("fig10 %s: %w", mech, err)
+			r.Missing = append(r.Missing, Missing{Sweep: "fig10", Index: mi,
+				Cause: runner.Classify(err), Err: err})
+			continue
 		}
 		rtt := sys.RTT()
 		r.Cases = append(r.Cases, Fig10Case{
@@ -83,5 +90,6 @@ func (r *Fig10Result) Render() string {
 		b.WriteString("round-trip delay histogram:\n")
 		b.WriteString(c.Histogram)
 	}
+	renderMissing(&b, r.Missing)
 	return b.String()
 }

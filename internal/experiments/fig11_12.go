@@ -33,6 +33,9 @@ func (r SuiteRow) ROIPercent(i int) float64 {
 // sweep that Figures 11 and 12 are read from.
 type SuiteResult struct {
 	Rows []SuiteRow
+	// Missing annotates runs that produced no results; their cells
+	// aggregate as zero.
+	Missing []Missing
 }
 
 // RunSuite executes all 24 programs (or the Options.Programs subset)
@@ -57,18 +60,18 @@ func RunSuite(o Options) (*SuiteResult, error) {
 			}
 		}
 	}
-	results, err := runAll(o, "fig11_12", cfgs)
+	results, missing, err := runAll(o, "fig11_12", cfgs)
 	if err != nil {
 		return nil, fmt.Errorf("suite: %w", err)
 	}
-	out := &SuiteResult{}
+	out := &SuiteResult{Missing: missing}
 	next := 0
 	for _, p := range profiles {
 		row := SuiteRow{Program: p.ShortName, Group: p.Group}
 		for i := range inpg.Mechanisms {
 			var rtSum, csSum uint64
 			for range seeds {
-				res := results[next]
+				res := cell(results, next)
 				next++
 				rtSum += res.Runtime
 				csSum += res.CSTime()
@@ -146,6 +149,7 @@ func (s *SuiteResult) RenderFig11() string {
 		s.GroupMeanExpedition(0, 1), s.GroupMeanExpedition(0, 2), s.GroupMeanExpedition(0, 3))
 	m, mx, prog := s.INPGOverOCOR()
 	fmt.Fprintf(&b, "iNPG over OCOR: %.2fx mean, %.2fx max (%s)\n", m, mx, prog)
+	renderMissing(&b, s.Missing)
 	return b.String()
 }
 
@@ -164,5 +168,6 @@ func (s *SuiteResult) RenderFig12() string {
 	}
 	fmt.Fprintf(&b, "overall mean       %8.1f%% %8.1f%% %8.1f%%\n",
 		s.GroupMeanROI(0, 1), s.GroupMeanROI(0, 2), s.GroupMeanROI(0, 3))
+	renderMissing(&b, s.Missing)
 	return b.String()
 }

@@ -21,6 +21,9 @@ type Fig13Result struct {
 	Rows  []Fig13Row
 	// MeanReductionPct[lockIdx] averages over programs.
 	MeanReductionPct []float64
+	// Missing annotates runs that produced no results; a cell with either
+	// run missing reports zero reduction.
+	Missing []Missing
 }
 
 // Fig13Programs selects the evaluated programs. The full paper figure runs
@@ -53,10 +56,11 @@ func Fig13(o Options, full24 bool) (*Fig13Result, error) {
 			cfgs = append(cfgs, ConfigFor(p, inpg.INPG, lk, o))
 		}
 	}
-	results, err := runAll(o, "fig13", cfgs)
+	results, missing, err := runAll(o, "fig13", cfgs)
 	if err != nil {
 		return nil, fmt.Errorf("fig13: %w", err)
 	}
+	r.Missing = missing
 	sums := make([]float64, len(inpg.LockKinds))
 	next := 0
 	for _, p := range profiles {
@@ -64,7 +68,10 @@ func Fig13(o Options, full24 bool) (*Fig13Result, error) {
 		for li := range inpg.LockKinds {
 			orig, with := results[next], results[next+1]
 			next += 2
-			red := 100 * (1 - mustRatio(float64(with.Runtime), float64(orig.Runtime)))
+			var red float64
+			if orig != nil && with != nil {
+				red = 100 * (1 - mustRatio(float64(with.Runtime), float64(orig.Runtime)))
+			}
 			row.ReductionPct = append(row.ReductionPct, red)
 			sums[li] += red
 		}
@@ -97,5 +104,6 @@ func (r *Fig13Result) Render() string {
 		fmt.Fprintf(&b, "%8.1f%%", v)
 	}
 	b.WriteByte('\n')
+	renderMissing(&b, r.Missing)
 	return b.String()
 }

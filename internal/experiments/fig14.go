@@ -23,6 +23,8 @@ type Fig14Result struct {
 	Deployments []int
 	Rows        []Fig14Row
 	Mean        []float64
+	// Missing annotates runs that produced no results (zero expedition).
+	Missing []Missing
 }
 
 // Fig14Programs picks one representative per Figure 8b group.
@@ -54,16 +56,17 @@ func Fig14(o Options) (*Fig14Result, error) {
 			cfgs = append(cfgs, cfg)
 		}
 	}
-	results, err := runAll(o, "fig14", cfgs)
+	results, missing, err := runAll(o, "fig14", cfgs)
 	if err != nil {
 		return nil, fmt.Errorf("fig14: %w", err)
 	}
+	r.Missing = missing
 	next := 0
 	for _, name := range names {
 		row := Fig14Row{Program: name}
 		var base float64
 		for i := range Fig14Deployments {
-			cs := float64(results[next].CSTime())
+			cs := float64(cell(results, next).CSTime())
 			next++
 			if i == 0 {
 				base = cs
@@ -101,5 +104,6 @@ func (r *Fig14Result) Render() string {
 		fmt.Fprintf(&b, "%8.2fx", v)
 	}
 	b.WriteByte('\n')
+	renderMissing(&b, r.Missing)
 	return b.String()
 }

@@ -25,6 +25,9 @@ type Fig15Result struct {
 	Programs   []string
 	TotalRuns  int
 	QuickScale float64
+	// Missing annotates runs that produced no results; a cell with either
+	// run of a pair missing contributes zero reduction.
+	Missing []Missing
 }
 
 // Fig15Programs keeps the 16×16 (256-core) runs tractable.
@@ -67,10 +70,11 @@ func Fig15(o Options) (*Fig15Result, error) {
 			}
 		}
 	}
-	results, err := runAll(o, "fig15", cfgs)
+	results, missing, err := runAll(o, "fig15", cfgs)
 	if err != nil {
 		return nil, fmt.Errorf("fig15: %w", err)
 	}
+	r.Missing = missing
 	next := 0
 	for range Fig15Dims {
 		var row []float64
@@ -79,8 +83,11 @@ func Fig15(o Options) (*Fig15Result, error) {
 			for range Fig15Programs {
 				orig, with := results[next], results[next+1]
 				next += 2
-				reductions = append(reductions,
-					100*(1-mustRatio(float64(with.Runtime), float64(orig.Runtime))))
+				var red float64
+				if orig != nil && with != nil {
+					red = 100 * (1 - mustRatio(float64(with.Runtime), float64(orig.Runtime)))
+				}
+				reductions = append(reductions, red)
 				r.TotalRuns += 2
 			}
 			row = append(row, meanOf(reductions))
@@ -106,5 +113,6 @@ func (r *Fig15Result) Render() string {
 		}
 		b.WriteByte('\n')
 	}
+	renderMissing(&b, r.Missing)
 	return b.String()
 }

@@ -18,6 +18,8 @@ type Fig2Result struct {
 	Locks    []inpg.LockKind
 	// LCOPercent[programIdx][lockIdx]
 	LCOPercent [][]float64
+	// Missing annotates cells that produced no results (zero in the table).
+	Missing []Missing
 }
 
 // Fig2 reproduces Figure 2: %LCO of application running time under the
@@ -36,14 +38,15 @@ func Fig2(o Options) (*Fig2Result, error) {
 			cfgs = append(cfgs, ConfigFor(p, inpg.Original, lk, o))
 		}
 	}
-	results, err := runAll(o, "fig2", cfgs)
+	results, missing, err := runAll(o, "fig2", cfgs)
 	if err != nil {
 		return nil, fmt.Errorf("fig2: %w", err)
 	}
+	r.Missing = missing
 	for i := range Fig2Programs {
 		row := make([]float64, 0, len(inpg.LockKinds))
 		for j := range inpg.LockKinds {
-			row = append(row, results[i*len(inpg.LockKinds)+j].LCOPercent)
+			row = append(row, cell(results, i*len(inpg.LockKinds)+j).LCOPercent)
 		}
 		r.LCOPercent = append(r.LCOPercent, row)
 	}
@@ -66,5 +69,6 @@ func (r *Fig2Result) Render() string {
 		}
 		b.WriteByte('\n')
 	}
+	renderMissing(&b, r.Missing)
 	return b.String()
 }

@@ -31,6 +31,8 @@ func (r Fig8Row) COHShare() float64 {
 // Fig8Result is the full benchmark characterization.
 type Fig8Result struct {
 	Rows []Fig8Row
+	// Missing annotates programs whose run produced no results.
+	Missing []Missing
 }
 
 // Fig8 reproduces Figure 8: per-program CS access counts and average CS
@@ -46,12 +48,13 @@ func Fig8(o Options) (*Fig8Result, error) {
 	for i, p := range profiles {
 		cfgs[i] = ConfigFor(p, inpg.Original, inpg.LockQSL, o)
 	}
-	results, err := runAll(o, "fig8", cfgs)
+	results, missing, err := runAll(o, "fig8", cfgs)
 	if err != nil {
 		return nil, fmt.Errorf("fig8: %w", err)
 	}
+	r.Missing = missing
 	for i, p := range profiles {
-		res := results[i]
+		res := cell(results, i)
 		r.Rows = append(r.Rows, Fig8Row{
 			Program:     p.ShortName,
 			Suite:       p.Suite,
@@ -76,5 +79,6 @@ func (r *Fig8Result) Render() string {
 			row.Program, row.Suite, row.Group, row.TotalCS, row.AvgCSCycles,
 			row.TotalCS*row.AvgCSCycles, row.MeasuredCOH, row.MeasuredCSE, 100*row.COHShare())
 	}
+	renderMissing(&b, r.Missing)
 	return b.String()
 }

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"inpg"
+	"inpg/internal/runner"
 	"inpg/internal/sim"
 	"inpg/internal/workload"
 )
@@ -28,6 +29,9 @@ type Fig9Result struct {
 	WindowCycles uint64
 	Threads      int
 	Cases        []Fig9Case
+	// Missing annotates mechanisms whose profiling run failed; their rows
+	// are absent from Cases.
+	Missing []Missing
 }
 
 // Fig9Window is the profiling window. The paper profiles 30,000 CPU
@@ -50,16 +54,19 @@ func Fig9(o Options) (*Fig9Result, error) {
 	}
 	r := &Fig9Result{Program: p.ShortName, WindowCycles: Fig9Window, Threads: Fig9Threads}
 	baseCS := 0
-	for _, mech := range inpg.Mechanisms {
+	for mi, mech := range inpg.Mechanisms {
 		cfg := ConfigFor(p, mech, inpg.LockQSL, o)
 		cfg.RecordTimeline = true
 		cfg.TimelineThreads = Fig9Threads
+		cfg.WallTimeBudget = o.RunTimeout
 		sys, err := inpg.New(cfg)
-		if err != nil {
-			return nil, err
+		if err == nil {
+			_, err = sys.Run()
 		}
-		if _, err := sys.Run(); err != nil {
-			return nil, fmt.Errorf("fig9 %s: %w", mech, err)
+		if err != nil {
+			r.Missing = append(r.Missing, Missing{Sweep: "fig9", Index: mi,
+				Cause: runner.Classify(err), Err: err})
+			continue
 		}
 		// Profile a steady-state window: skip the cold start.
 		start := sim.Cycle(2000)
@@ -99,5 +106,6 @@ func (r *Fig9Result) Render() string {
 	for _, c := range r.Cases {
 		fmt.Fprintf(&b, "\n[%s]\n%s", c.Mechanism, c.Strip)
 	}
+	renderMissing(&b, r.Missing)
 	return b.String()
 }

@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"strings"
-	"time"
 
 	"inpg"
 	"inpg/internal/fault"
@@ -75,36 +74,28 @@ func Resilience(o Options) (*ResilienceResult, error) {
 	}
 	r.Threads = cfgs[0].MeshWidth * cfgs[0].MeshHeight
 
-	// Fan out with per-run error capture: a failed run fills its cell's
-	// Reason instead of aborting the sweep. Outcomes (manifests, monitor
-	// feed) are emitted by hand because this sweep keeps tolerated
-	// failures out of the runner's error path.
-	obs := o.observer("resilience")
-	err = runner.ForEachWorker(len(cfgs), o.Workers, func(worker, i int) error {
-		if obs != nil {
-			obs(runner.Outcome{Index: i, Worker: worker, Cfg: cfgs[i]})
-		}
-		start := time.Now()
-		sys, err := inpg.New(cfgs[i])
-		if err != nil {
-			return err
-		}
-		res, err := sys.Run()
-		if obs != nil {
-			obs(runner.Outcome{Index: i, Worker: worker, Done: true, Cfg: cfgs[i],
-				Res: res, Err: err, Snapshot: sys.MetricsSnapshot(),
-				WallSeconds: time.Since(start).Seconds()})
-		}
+	// Fan out in keep-going mode: a failed run — a wedged simulation under
+	// an extreme rate, even a panic — fills its cell's Reason instead of
+	// aborting the sweep. No retries: a deterministic wedge is a data
+	// point, and re-running it would only reproduce it.
+	results, errs := runner.RunResilient(cfgs, runner.Policy{
+		Workers:    o.Workers,
+		RunTimeout: o.RunTimeout,
+		Observer:   o.observer("resilience"),
+	})
+	for i := range cases {
 		c := &cases[i]
-		if err != nil {
+		if err := errs[i]; err != nil {
 			var simErr *inpg.SimulationError
-			if !errors.As(err, &simErr) {
-				return err
+			if errors.As(err, &simErr) {
+				c.Reason = simErr.Reason
+			} else {
+				c.Reason = string(err.Cause)
 			}
-			c.Reason = simErr.Reason
 		}
+		res := results[i]
 		if res == nil {
-			return nil
+			continue
 		}
 		c.Runtime = res.Runtime
 		c.CSCompleted = uint64(res.CSCompleted)
@@ -114,10 +105,6 @@ func Resilience(o Options) (*ResilienceResult, error) {
 		if res.Runtime > 0 {
 			c.CSPerKCyc = 1000 * float64(res.CSCompleted) / float64(res.Runtime)
 		}
-		return nil
-	})
-	if err != nil {
-		return nil, fmt.Errorf("resilience: %w", err)
 	}
 	r.Cases = cases
 	return r, nil

@@ -9,19 +9,32 @@ package manifest
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 
 	"inpg"
 	"inpg/internal/metrics"
+	"inpg/internal/runner"
 )
 
 // SchemaVersion identifies the manifest layout; bump on breaking change.
-const SchemaVersion = 1
+// v2 added failure records: status, cause class, attempt, config digest
+// and the diagnostics summary.
+const SchemaVersion = 2
 
 // Kind is the manifest's fixed type tag.
 const Kind = "inpg-run-manifest"
+
+// Run statuses recorded in a manifest.
+const (
+	// StatusOK marks a run that completed and produced results.
+	StatusOK = "ok"
+	// StatusFailed marks a run whose final attempt failed; Error, Cause
+	// and (when available) Diag describe how.
+	StatusFailed = "failed"
+)
 
 // EngineStats records what the engine did over the run.
 type EngineStats struct {
@@ -46,6 +59,22 @@ type Summary struct {
 	Stopped        uint64  `json:"stopped_requests"`
 	FaultsInjected uint64  `json:"faults_injected"`
 	LinkRetries    uint64  `json:"link_retries"`
+	Sleeps         int     `json:"sleeps"`
+	RTTSamples     uint64  `json:"rtt_samples"`
+	NetMeanLatency float64 `json:"net_mean_latency_cycles"`
+	LinkFailures   uint64  `json:"link_failures"`
+	PortStallHits  uint64  `json:"port_stall_hits"`
+}
+
+// DiagSummary is the compact failure diagnosis embedded in a failed run's
+// manifest: enough to triage a wedged cell from the artifact alone (the
+// full Diagnostics dump stays on stderr).
+type DiagSummary struct {
+	Cycle      uint64 `json:"cycle"`
+	Unfinished int    `json:"unfinished_threads"`
+	Threads    int    `json:"threads"`
+	InFlight   int    `json:"packets_in_flight"`
+	DeadLinks  int    `json:"dead_links"`
 }
 
 // Manifest is one run's full record.
@@ -66,15 +95,27 @@ type Manifest struct {
 	// manifest alone suffices to reproduce its run.
 	Config inpg.Config `json:"config"`
 
+	// ConfigDigest fingerprints Config (inpg.Config.Digest); resume
+	// matches it against the current sweep's configurations to decide
+	// which cells a prior run's manifests still cover.
+	ConfigDigest string `json:"config_digest"`
+
 	// WallSeconds is host time, the one deliberately nondeterministic
 	// field; determinism comparisons must exclude it (see Canonical).
 	WallSeconds float64 `json:"wall_seconds"`
 
-	// Error is the run's failure, empty on success. Summary and Engine
-	// are zero when the run failed before producing results.
-	Error   string      `json:"error,omitempty"`
-	Engine  EngineStats `json:"engine"`
-	Summary Summary     `json:"summary"`
+	// Status is StatusOK or StatusFailed. Failed manifests carry the
+	// error text, its cause class (runner.Cause), the 0-based attempt
+	// that produced this record, and — when the failure yielded a
+	// diagnosis — a compact DiagSummary. Summary and Engine are zero when
+	// the run failed before producing results.
+	Status  string       `json:"status"`
+	Error   string       `json:"error,omitempty"`
+	Cause   string       `json:"cause,omitempty"`
+	Attempt int          `json:"attempt,omitempty"`
+	Diag    *DiagSummary `json:"diag,omitempty"`
+	Engine  EngineStats  `json:"engine"`
+	Summary Summary      `json:"summary"`
 
 	// Metrics is the final counter snapshot (empty when the run was not
 	// metered).
@@ -82,7 +123,10 @@ type Manifest struct {
 }
 
 // Build assembles a manifest from one finished run. res and snap may be
-// nil (failed or unmetered runs); runErr may be nil.
+// nil (failed or unmetered runs); runErr may be nil. Failures are
+// recorded with their cause class (runner.Classify), the attempt that
+// produced them (when runErr is a *runner.RunError) and a compact
+// diagnostics summary (when the failure carries one).
 func Build(sweep string, index int, cfg inpg.Config, res *inpg.Results, snap *metrics.Snapshot, wallSeconds float64, runErr error) Manifest {
 	m := Manifest{
 		SchemaVersion: SchemaVersion,
@@ -93,11 +137,28 @@ func Build(sweep string, index int, cfg inpg.Config, res *inpg.Results, snap *me
 		Lock:          cfg.Lock.String(),
 		Seed:          cfg.Seed,
 		Config:        cfg,
+		ConfigDigest:  cfg.Digest(),
 		WallSeconds:   wallSeconds,
+		Status:        StatusOK,
 		Metrics:       snap,
 	}
 	if runErr != nil {
+		m.Status = StatusFailed
 		m.Error = runErr.Error()
+		m.Cause = string(runner.Classify(runErr))
+		if runErr := runner.AsRunError(runErr); runErr != nil {
+			m.Attempt = runErr.Attempt
+		}
+		var simErr *inpg.SimulationError
+		if errors.As(runErr, &simErr) && simErr.Diag != nil {
+			m.Diag = &DiagSummary{
+				Cycle:      uint64(simErr.Cycle),
+				Unfinished: simErr.Unfinished,
+				Threads:    simErr.Threads,
+				InFlight:   simErr.Diag.Net.InFlight,
+				DeadLinks:  len(simErr.Diag.Net.DeadLinks()),
+			}
+		}
 	}
 	if res != nil {
 		m.Summary = Summary{
@@ -115,10 +176,47 @@ func Build(sweep string, index int, cfg inpg.Config, res *inpg.Results, snap *me
 			Stopped:        res.Stopped,
 			FaultsInjected: res.FaultsInjected,
 			LinkRetries:    res.LinkRetries,
+			Sleeps:         res.Sleeps,
+			RTTSamples:     res.RTTSamples,
+			NetMeanLatency: res.NetMeanLatency,
+			LinkFailures:   res.LinkFailures,
+			PortStallHits:  res.PortStallHits,
 		}
 		m.Engine = EngineStats{FinalCycle: res.Runtime}
 	}
 	return m
+}
+
+// ToResults reconstructs an inpg.Results from the manifest's summary, the
+// inverse of Build for every field the figure drivers consume. PerThread
+// and Energy are not carried by manifests and stay zero; resume callers
+// aggregate only summary-level quantities. Returns nil for failed runs.
+func (m *Manifest) ToResults() *inpg.Results {
+	if m.Status != StatusOK {
+		return nil
+	}
+	s := m.Summary
+	return &inpg.Results{
+		Runtime:        s.Runtime,
+		Threads:        s.Threads,
+		Parallel:       s.Parallel,
+		COH:            s.COH,
+		Sleep:          s.Sleep,
+		CSE:            s.CSE,
+		CSCompleted:    s.CSCompleted,
+		LCOPercent:     s.LCOPercent,
+		RTTMean:        s.RTTMean,
+		RTTMax:         s.RTTMax,
+		EarlyInvs:      s.EarlyInvs,
+		Stopped:        s.Stopped,
+		FaultsInjected: s.FaultsInjected,
+		LinkRetries:    s.LinkRetries,
+		Sleeps:         s.Sleeps,
+		RTTSamples:     s.RTTSamples,
+		NetMeanLatency: s.NetMeanLatency,
+		LinkFailures:   s.LinkFailures,
+		PortStallHits:  s.PortStallHits,
+	}
 }
 
 // Validate checks the manifest against the schema: the small Go checker
@@ -146,8 +244,20 @@ func (m *Manifest) Validate() error {
 	if _, err := inpg.ParseLockKind(m.Lock); err != nil {
 		return fmt.Errorf("manifest: %w", err)
 	}
-	if m.Error == "" && m.Summary.Runtime == 0 {
-		return fmt.Errorf("manifest: successful run with zero runtime")
+	switch m.Status {
+	case StatusOK:
+		if m.Error != "" {
+			return fmt.Errorf("manifest: status ok with error %q", m.Error)
+		}
+		if m.Summary.Runtime == 0 {
+			return fmt.Errorf("manifest: successful run with zero runtime")
+		}
+	case StatusFailed:
+		if m.Error == "" {
+			return fmt.Errorf("manifest: failed run without error text")
+		}
+	default:
+		return fmt.Errorf("manifest: status %q, want %q or %q", m.Status, StatusOK, StatusFailed)
 	}
 	if m.Metrics != nil {
 		for i := 1; i < len(m.Metrics.Values); i++ {
@@ -184,6 +294,36 @@ func (m *Manifest) WriteFile(dir string) (string, error) {
 		return "", err
 	}
 	return path, os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ScanDir loads every valid manifest for the named sweep from dir, keyed
+// by run index. Files that are missing, unreadable, fail validation or
+// belong to another sweep are simply not in the map — resume treats them
+// as gaps to re-run — and their paths are returned in skipped for
+// reporting. The only hard error is failing to read the directory.
+func ScanDir(dir, sweep string) (map[int]*Manifest, []string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	found := make(map[int]*Manifest)
+	var skipped []string
+	prefix := fmt.Sprintf("manifest-%s-", sweep)
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || len(name) <= len(prefix) ||
+			name[:len(prefix)] != prefix || filepath.Ext(name) != ".json" {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		m, err := ReadFile(path)
+		if err != nil || m.Sweep != sweep {
+			skipped = append(skipped, path)
+			continue
+		}
+		found[m.Index] = m
+	}
+	return found, skipped, nil
 }
 
 // ReadFile loads and validates a manifest from disk.

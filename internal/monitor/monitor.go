@@ -39,9 +39,17 @@ type WorkerStatus struct {
 // Status is the monitor's public state, served as JSON on /vars and as a
 // data frame on every /events message.
 type Status struct {
-	Completed      int     `json:"completed"`
-	Failed         int     `json:"failed"`
-	InFlight       int     `json:"in_flight"`
+	Completed int `json:"completed"`
+	Failed    int `json:"failed"`
+	InFlight  int `json:"in_flight"`
+	// Retried counts failed attempts that re-ran; Quarantined the runs
+	// that exhausted every attempt; Skipped the cells resume satisfied
+	// from prior manifests; Abandoned the clean completions whose results
+	// were discarded because the sweep had already failed.
+	Retried        int     `json:"retried"`
+	Quarantined    int     `json:"quarantined"`
+	Skipped        int     `json:"skipped"`
+	Abandoned      int     `json:"abandoned"`
 	ElapsedSeconds float64 `json:"elapsed_seconds"`
 	// RunsPerSecond is throughput over the rolling window (not the whole
 	// sweep), so it tracks slowdowns as heavier configurations start.
@@ -57,15 +65,19 @@ type Monitor struct {
 	ch    chan runner.Outcome
 	drain sync.WaitGroup
 
-	mu       sync.Mutex
-	start    time.Time
-	workers  map[int]*WorkerStatus
-	counters map[string]uint64
-	recent   []time.Time
-	complete int
-	failed   int
-	inFlight int
-	subs     map[chan []byte]struct{}
+	mu          sync.Mutex
+	start       time.Time
+	workers     map[int]*WorkerStatus
+	counters    map[string]uint64
+	recent      []time.Time
+	complete    int
+	failed      int
+	inFlight    int
+	retried     int
+	quarantined int
+	skipped     int
+	abandoned   int
+	subs        map[chan []byte]struct{}
 
 	ln  net.Listener
 	srv *http.Server
@@ -149,6 +161,13 @@ func (m *Monitor) loop() {
 
 // apply folds one outcome into the state. Caller holds mu.
 func (m *Monitor) apply(o runner.Outcome) {
+	// Skipped cells were never claimed: they emit a single Done outcome
+	// with no matching claim, so they must not touch in-flight or worker
+	// state.
+	if o.Status == runner.StatusSkipped {
+		m.skipped++
+		return
+	}
 	w := m.workers[o.Worker]
 	if w == nil {
 		w = &WorkerStatus{Worker: o.Worker}
@@ -162,9 +181,21 @@ func (m *Monitor) apply(o runner.Outcome) {
 	}
 	m.inFlight--
 	w.Busy, w.Label = false, ""
-	m.complete++
-	if o.Err != nil {
-		m.failed++
+	if o.Status == runner.StatusRetrying {
+		// The attempt finished but the run is unresolved: a fresh claim
+		// for the next attempt follows.
+		m.retried++
+	} else {
+		m.complete++
+		if o.Err != nil {
+			m.failed++
+		}
+		switch o.Status {
+		case runner.StatusQuarantined:
+			m.quarantined++
+		case runner.StatusAbandoned:
+			m.abandoned++
+		}
 	}
 	now := time.Now()
 	m.recent = append(m.recent, now)
@@ -186,6 +217,10 @@ func (m *Monitor) statusLocked() Status {
 		Completed:      m.complete,
 		Failed:         m.failed,
 		InFlight:       m.inFlight,
+		Retried:        m.retried,
+		Quarantined:    m.quarantined,
+		Skipped:        m.skipped,
+		Abandoned:      m.abandoned,
 		ElapsedSeconds: time.Since(m.start).Seconds(),
 	}
 	if n := len(m.recent); n > 0 {
@@ -233,8 +268,13 @@ func (m *Monitor) handleText(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	var b strings.Builder
 	fmt.Fprintf(&b, "inpg sweep monitor\n")
-	fmt.Fprintf(&b, "completed %d (%d failed), %d in flight, elapsed %.1fs, %.2f runs/s\n\n",
+	fmt.Fprintf(&b, "completed %d (%d failed), %d in flight, elapsed %.1fs, %.2f runs/s\n",
 		st.Completed, st.Failed, st.InFlight, st.ElapsedSeconds, st.RunsPerSecond)
+	if st.Retried+st.Quarantined+st.Skipped+st.Abandoned > 0 {
+		fmt.Fprintf(&b, "retried %d, quarantined %d, skipped %d, abandoned %d\n",
+			st.Retried, st.Quarantined, st.Skipped, st.Abandoned)
+	}
+	b.WriteByte('\n')
 	for _, ws := range st.Workers {
 		if ws.Busy {
 			fmt.Fprintf(&b, "worker %2d: run %4d  %s\n", ws.Worker, ws.Index, ws.Label)

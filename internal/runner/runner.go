@@ -5,14 +5,22 @@
 // is strictly single-threaded and seeded, so whole simulations are the
 // natural unit of parallelism: each run executes on its own goroutine and
 // produces results bit-identical to a serial execution of the same
-// configuration. The runner bounds concurrency (default GOMAXPROCS),
-// returns results in submission order for deterministic aggregation, and
-// propagates the error of the lowest-index failing run.
+// configuration. The runner bounds concurrency (default GOMAXPROCS) and
+// returns results in submission order for deterministic aggregation.
+//
+// Two failure disciplines are offered. The fail-fast modes (ForEach,
+// ForEachWorker, Run, RunObserved) abandon unstarted runs once any run
+// fails and propagate the lowest-index error. The keep-going modes
+// (ForEachAll, RunResilient) isolate every failure — including panics,
+// which are recovered and converted to typed *RunError values with their
+// stacks — and report a complete per-index outcome vector, so one bad
+// cell cannot take down a thousand-run sweep.
 package runner
 
 import (
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -30,19 +38,32 @@ func Workers(n int) int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// ForEach invokes fn(i) for every i in [0, n) across at most workers
-// goroutines and blocks until all invocations return. Indices are claimed
-// in order, so with workers == 1 the calls happen exactly in sequence.
-// The first error by index order is returned; once any invocation fails,
-// unstarted indices are abandoned (in-flight ones run to completion).
-func ForEach(n, workers int, fn func(i int) error) error {
-	return ForEachWorker(n, workers, func(_, i int) error { return fn(i) })
+// protect invokes fn with panic isolation: a panic is recovered and
+// converted into a *RunError carrying the panic value and the goroutine
+// stack captured at the recovery site. Error returns are coerced through
+// asRunError, so callers always see a typed (or nil) failure.
+func protect(index int, fn func() error) (rerr *RunError) {
+	defer func() {
+		if r := recover(); r != nil {
+			rerr = &RunError{
+				Index: index,
+				Cause: CausePanic,
+				Stack: debug.Stack(),
+				Err:   fmt.Errorf("panic: %v", r),
+			}
+		}
+	}()
+	return asRunError(index, fn())
 }
 
-// ForEachWorker is ForEach with the claiming worker's index (0-based,
-// stable for the call's duration) passed alongside the run index, for
-// callers that report per-worker status.
-func ForEachWorker(n, workers int, fn func(worker, i int) error) error {
+// forEachWorker is the shared claiming loop: indices are claimed in order
+// by at most `workers` goroutines, each invocation runs under protect, and
+// per-index failures land in the returned slice. With keepGoing false a
+// failure abandons all unstarted indices (in-flight ones run to
+// completion); with keepGoing true every index executes regardless.
+// fn's failedSoFar reports whether any earlier-completing run has failed,
+// letting callers tag post-failure completions.
+func forEachWorker(n, workers int, keepGoing bool, fn func(worker, i int, failedSoFar func() bool) error) []*RunError {
 	if n <= 0 {
 		return nil
 	}
@@ -50,7 +71,7 @@ func ForEachWorker(n, workers int, fn func(worker, i int) error) error {
 	if w > n {
 		w = n
 	}
-	errs := make([]error, n)
+	errs := make([]*RunError, n)
 	var next atomic.Int64
 	var failed atomic.Bool
 	next.Store(-1)
@@ -61,10 +82,10 @@ func ForEachWorker(n, workers int, fn func(worker, i int) error) error {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1))
-				if i >= n || failed.Load() {
+				if i >= n || (!keepGoing && failed.Load()) {
 					return
 				}
-				if err := fn(g, i); err != nil {
+				if err := protect(i, func() error { return fn(g, i, failed.Load) }); err != nil {
 					errs[i] = err
 					failed.Store(true)
 				}
@@ -72,26 +93,87 @@ func ForEachWorker(n, workers int, fn func(worker, i int) error) error {
 		}()
 	}
 	wg.Wait()
-	for i, err := range errs {
+	return errs
+}
+
+// ForEach invokes fn(i) for every i in [0, n) across at most workers
+// goroutines and blocks until all invocations return. Indices are claimed
+// in order, so with workers == 1 the calls happen exactly in sequence.
+// The first error by index order is returned as a *RunError; once any
+// invocation fails, unstarted indices are abandoned (in-flight ones run
+// to completion). Panics in fn are recovered and reported the same way.
+func ForEach(n, workers int, fn func(i int) error) error {
+	return ForEachWorker(n, workers, func(_, i int) error { return fn(i) })
+}
+
+// ForEachWorker is ForEach with the claiming worker's index (0-based,
+// stable for the call's duration) passed alongside the run index, for
+// callers that report per-worker status.
+func ForEachWorker(n, workers int, fn func(worker, i int) error) error {
+	errs := forEachWorker(n, workers, false, func(worker, i int, _ func() bool) error {
+		return fn(worker, i)
+	})
+	for _, err := range errs {
 		if err != nil {
-			return fmt.Errorf("runner: run %d: %w", i, err)
+			return err
 		}
 	}
 	return nil
 }
 
-// Outcome reports one run's lifecycle to an observer. Each run produces
-// two outcomes: one with Done == false when a worker claims it, one with
-// Done == true when it finishes (successfully or not). Snapshot is the
-// run's final telemetry counter snapshot, nil unless the configuration
-// enabled metrics.
+// ForEachAll is the keep-going ForEachWorker: every index in [0, n) is
+// executed even after failures, and the result is the complete per-index
+// error vector (nil entries for successes). Panics are isolated per index.
+func ForEachAll(n, workers int, fn func(worker, i int) error) []*RunError {
+	return forEachWorker(n, workers, true, func(worker, i int, _ func() bool) error {
+		return fn(worker, i)
+	})
+}
+
+// Status is an Outcome's position in the run lifecycle.
+type Status string
+
+const (
+	// StatusRunning: a worker has claimed the run (the Done == false
+	// outcome).
+	StatusRunning Status = "running"
+	// StatusOK: the run completed and its results are used.
+	StatusOK Status = "ok"
+	// StatusFailed: the run failed with no retry to follow.
+	StatusFailed Status = "failed"
+	// StatusRetrying: the attempt failed and a later attempt will re-run
+	// this configuration.
+	StatusRetrying Status = "retrying"
+	// StatusQuarantined: every configured attempt failed; the cell is
+	// excluded from aggregation and reported as missing.
+	StatusQuarantined Status = "quarantined"
+	// StatusAbandoned: the run completed without error, but only after the
+	// sweep had already failed — in fail-fast mode its results are
+	// discarded, so observers must not count it as a clean completion.
+	StatusAbandoned Status = "abandoned"
+	// StatusSkipped: the run was never executed (resume found a valid
+	// prior result). Skipped runs emit a single Done outcome.
+	StatusSkipped Status = "skipped"
+)
+
+// Outcome reports one run's lifecycle to an observer. Each executed run
+// produces two outcomes: one with Done == false when a worker claims it,
+// one with Done == true when it finishes; skipped runs produce only the
+// Done outcome. Snapshot is the run's final telemetry counter snapshot,
+// nil unless the configuration enabled metrics.
 type Outcome struct {
 	Index  int
 	Worker int
 	Done   bool
-	Cfg    inpg.Config
-	Res    *inpg.Results
-	Err    error
+	// Status refines Done: StatusRunning on claim; StatusOK, StatusFailed,
+	// StatusRetrying, StatusQuarantined, StatusAbandoned or StatusSkipped
+	// on completion. Zero ("") in outcomes from legacy hand-rolled loops.
+	Status Status
+	// Attempt is the 0-based retry attempt (always 0 outside RunResilient).
+	Attempt int
+	Cfg     inpg.Config
+	Res     *inpg.Results
+	Err     error
 	// Snapshot and WallSeconds are meaningful only when Done.
 	Snapshot    *metrics.Snapshot
 	WallSeconds float64
@@ -115,31 +197,56 @@ func Run(cfgs []inpg.Config, workers int) ([]*inpg.Results, error) {
 // RunObserved is Run with per-run lifecycle reporting: obs (when non-nil)
 // sees a claim outcome and a completion outcome for every run, carrying
 // the run's results, error, wall time and — on metered configurations —
-// its final counter snapshot.
+// its final counter snapshot. Runs that complete cleanly after another
+// run has already failed are tagged StatusAbandoned: their results are
+// about to be discarded, so observers must not count them as clean.
 func RunObserved(cfgs []inpg.Config, workers int, obs Observer) ([]*inpg.Results, error) {
 	results := make([]*inpg.Results, len(cfgs))
-	err := ForEachWorker(len(cfgs), workers, func(worker, i int) error {
+	errs := forEachWorker(len(cfgs), workers, false, func(worker, i int, failedSoFar func() bool) error {
 		if obs != nil {
-			obs(Outcome{Index: i, Worker: worker, Cfg: cfgs[i]})
+			obs(Outcome{Index: i, Worker: worker, Status: StatusRunning, Cfg: cfgs[i]})
 		}
 		start := time.Now()
-		sys, err := inpg.New(cfgs[i])
 		var res *inpg.Results
 		var snap *metrics.Snapshot
-		if err == nil {
+		rerr := protect(i, func() error {
+			sys, err := inpg.New(cfgs[i])
+			if err != nil {
+				return &RunError{Index: i, Cause: CauseConfig, Err: err}
+			}
 			res, err = sys.Run()
 			results[i] = res
 			snap = sys.MetricsSnapshot()
+			return err
+		})
+		if rerr != nil && rerr.Digest == "" {
+			rerr.Digest = cfgs[i].Digest()
 		}
 		if obs != nil {
-			obs(Outcome{Index: i, Worker: worker, Done: true, Cfg: cfgs[i],
-				Res: res, Err: err, Snapshot: snap,
+			status := StatusOK
+			switch {
+			case rerr != nil:
+				status = StatusFailed
+			case failedSoFar():
+				status = StatusAbandoned
+			}
+			var err error
+			if rerr != nil {
+				err = rerr
+			}
+			obs(Outcome{Index: i, Worker: worker, Done: true, Status: status,
+				Cfg: cfgs[i], Res: res, Err: err, Snapshot: snap,
 				WallSeconds: time.Since(start).Seconds()})
 		}
-		return err
+		if rerr != nil {
+			return rerr
+		}
+		return nil
 	})
-	if err != nil {
-		return nil, err
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	return results, nil
 }

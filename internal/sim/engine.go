@@ -156,6 +156,13 @@ type Engine struct {
 	// lastProgressAt is the cycle progress was last noted.
 	watchWindow    Cycle
 	lastProgressAt Cycle
+
+	// abortCheck, when non-nil, is the cooperative-cancellation hook: Run
+	// invokes it every abortEvery cycles and returns an *AbortError around
+	// whatever error it reports. nextAbortAt is the next cycle it is due.
+	abortCheck  func() error
+	abortEvery  Cycle
+	nextAbortAt Cycle
 }
 
 // eventHeapPrealloc sizes the event heap's initial backing array. A full
@@ -295,6 +302,23 @@ func (e *Engine) SetWatchdog(window Cycle) {
 // WatchdogWindow returns the armed watchdog window (0 when disarmed).
 func (e *Engine) WatchdogWindow() Cycle { return e.watchWindow }
 
+// SetAbortCheck installs (fn != nil) or removes (fn == nil) the
+// cooperative-cancellation hook: while a Run loop is active, fn is invoked
+// at most once every `every` cycles, and the first non-nil error it returns
+// makes Run stop immediately with an *AbortError wrapping it. The check
+// runs outside every component tick — simulation state is never consulted
+// and never perturbed — and its coarse cadence keeps the hot-path cost to
+// one predictable comparison per cycle. Wall-clock deadlines and
+// context.Context cancellation ride on this hook (see inpg.System.AbortOn).
+func (e *Engine) SetAbortCheck(every Cycle, fn func() error) {
+	if every == 0 {
+		every = 1
+	}
+	e.abortCheck = fn
+	e.abortEvery = every
+	e.nextAbortAt = e.now + every
+}
+
 // Step advances the simulation by exactly one cycle: the clock is
 // incremented, due events fire (in schedule order), then every awake
 // ticker runs in registration order. A component woken mid-pass by a
@@ -365,6 +389,15 @@ func (e *Engine) Run(maxCycles Cycle, cond func() bool) (Cycle, error) {
 		}
 		if e.watchWindow > 0 && e.now-e.lastProgressAt >= e.watchWindow {
 			return e.now - start, &StallError{Now: e.now, LastProgress: e.lastProgressAt, Window: e.watchWindow}
+		}
+		// Cooperative cancellation: coarse-grained so a healthy run pays one
+		// comparison per cycle, yet an idle fast-forward (which jumps many
+		// cycles in one iteration) still lands on a due check immediately.
+		if e.abortCheck != nil && e.now >= e.nextAbortAt {
+			e.nextAbortAt = e.now + e.abortEvery
+			if aerr := e.abortCheck(); aerr != nil {
+				return e.now - start, &AbortError{Now: e.now, Err: aerr}
+			}
 		}
 	}
 	return e.now - start, &BudgetError{Budget: maxCycles, Now: e.now}

@@ -1,9 +1,13 @@
 package sim
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 )
+
+// errAbortTest is the sentinel cause the abort-check tests report.
+var errAbortTest = errors.New("abort test cause")
 
 func TestEngineStartsAtZero(t *testing.T) {
 	e := NewEngine(1)
@@ -377,5 +381,87 @@ func TestEventHeapOrdering(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestAbortCheckStopsRunWithAbortError(t *testing.T) {
+	e := NewEngine(1)
+	e.Register(TickFunc(func(Cycle) {}))
+	cause := errAbortTest
+	calls := 0
+	e.SetAbortCheck(100, func() error {
+		calls++
+		if e.Now() >= 250 {
+			return cause
+		}
+		return nil
+	})
+	_, err := e.Run(10_000, nil)
+	var abort *AbortError
+	if !errors.As(err, &abort) {
+		t.Fatalf("err = %v, want *AbortError", err)
+	}
+	if !errors.Is(err, cause) {
+		t.Fatalf("AbortError does not unwrap to its cause: %v", err)
+	}
+	// Checks run every 100 cycles: the trip lands on the first check at or
+	// after cycle 250, i.e. cycle 300.
+	if abort.Now != 300 || e.Now() != 300 {
+		t.Fatalf("aborted at cycle %d (engine at %d), want 300", abort.Now, e.Now())
+	}
+	if calls != 3 {
+		t.Fatalf("abort check ran %d times over 300 cycles at every=100, want 3", calls)
+	}
+}
+
+func TestAbortCheckCoarseCadence(t *testing.T) {
+	e := NewEngine(1)
+	e.Register(TickFunc(func(Cycle) {}))
+	calls := 0
+	e.SetAbortCheck(1000, func() error { calls++; return nil })
+	if _, err := e.Run(5000, func() bool { return e.Now() == 5000 }); err != nil {
+		t.Fatal(err)
+	}
+	// Checks are due at 1000..5000, but Run's condition exits the loop at
+	// cycle 5000 before that cycle's check: four invocations total.
+	if calls != 4 {
+		t.Fatalf("abort check ran %d times over 5000 cycles at every=1000, want 4", calls)
+	}
+}
+
+func TestAbortCheckFiresAcrossFastForward(t *testing.T) {
+	// A fully quiescent engine fast-forwards over the check boundary in one
+	// jump; the abort check must still run when the clock lands past it.
+	e := NewEngine(1)
+	h := e.Register(TickFunc(func(Cycle) {}))
+	e.Sleep(h)
+	e.Schedule(9_999, func() {})
+	aborted := false
+	e.SetAbortCheck(500, func() error {
+		aborted = true
+		return errAbortTest
+	})
+	_, err := e.Run(100_000, nil)
+	var abort *AbortError
+	if !errors.As(err, &abort) {
+		t.Fatalf("err = %v, want *AbortError", err)
+	}
+	if !aborted {
+		t.Fatal("abort check never ran under fast-forward")
+	}
+	// The idle jump goes straight to the scheduled event's cycle; the check
+	// fires there, not thousands of cycles later.
+	if e.Now() > 10_000 {
+		t.Fatalf("abort landed at cycle %d, want at most the event cycle 10000", e.Now())
+	}
+}
+
+func TestAbortCheckRemovable(t *testing.T) {
+	e := NewEngine(1)
+	e.Register(TickFunc(func(Cycle) {}))
+	e.SetAbortCheck(10, func() error { return errAbortTest })
+	e.SetAbortCheck(10, nil)
+	if _, err := e.Run(100, func() bool { return e.Now() == 100 }); err != nil {
+		t.Fatalf("removed abort check still fired: %v", err)
 	}
 }

@@ -32,3 +32,22 @@ func (e *StallError) Error() string {
 	return fmt.Sprintf("sim: liveness watchdog: no progress since cycle %d (window %d, now %d)",
 		e.LastProgress, e.Window, e.Now)
 }
+
+// AbortError reports that Run was stopped by the cooperative-cancellation
+// hook (SetAbortCheck): a wall-clock deadline elapsed or an outside
+// controller canceled the run. The simulation itself is healthy — it was
+// told to stop — so callers can still capture diagnostics from the intact
+// state. Unwrap exposes the abort cause (e.g. context.DeadlineExceeded).
+type AbortError struct {
+	// Now is the cycle the abort check fired on; Err its reported cause.
+	Now Cycle
+	Err error
+}
+
+// Error implements error.
+func (e *AbortError) Error() string {
+	return fmt.Sprintf("sim: run aborted at cycle %d: %v", e.Now, e.Err)
+}
+
+// Unwrap exposes the abort cause for errors.Is/As.
+func (e *AbortError) Unwrap() error { return e.Err }
