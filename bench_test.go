@@ -7,6 +7,7 @@ package inpg_test
 // full-size tables.
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -252,6 +253,67 @@ func BenchmarkSimulatorIdleHeavy(b *testing.B) {
 		cycles += res.Runtime
 	}
 	b.ReportMetric(float64(cycles)/float64(b.N), "sim-cycles/run")
+}
+
+// largeMeshConfig is the BenchmarkSimulatorLargeMesh workload: the full
+// iNPG+OCOR protocol on a dim×dim mesh under the given shard count.
+// Contended TTL (every thread spinning on one lock with distance-scaled
+// backoff) keeps most routers awake most cycles — the shape where the
+// sharded tick pass has real work to split. The seed is fixed so every
+// shard count simulates the identical run; the sim-cycles/run metric is
+// the cycle-exactness witness (it must not move across sub-benchmarks).
+func largeMeshConfig(dim, shards int, lk inpg.LockKind, parallel int) inpg.Config {
+	cfg := inpg.DefaultConfig()
+	cfg.MeshWidth, cfg.MeshHeight = dim, dim
+	cfg.Mechanism = inpg.INPGOCOR
+	cfg.Lock = lk
+	cfg.CSPerThread = 1
+	cfg.CSCycles = 50
+	cfg.CSJitter = 15
+	cfg.ParallelCycles = parallel
+	cfg.ParallelJitter = parallel / 4
+	cfg.Seed = 1
+	cfg.Shards = shards
+	return cfg
+}
+
+// BenchmarkSimulatorLargeMesh measures large-mesh simulation speed and the
+// sharded engine's scaling: 16×16 and 32×32, contended TTL plus an
+// activity-light QSL case, each across shard counts. Expect speedup only
+// when GOMAXPROCS offers real cores; on fewer cores the adaptive inline
+// gate keeps the overhead flat. Results for any shard count are
+// bit-identical (pinned by shards_test.go); sim-cycles/run proves it here.
+func BenchmarkSimulatorLargeMesh(b *testing.B) {
+	cases := []struct {
+		name     string
+		dim      int
+		lk       inpg.LockKind
+		parallel int
+	}{
+		{"16x16-TTL-contended", 16, inpg.LockTTL, 2000},
+		{"32x32-QSL", 32, inpg.LockQSL, 500},
+		{"32x32-TTL-contended", 32, inpg.LockTTL, 20000},
+	}
+	for _, c := range cases {
+		for _, shards := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/shards=%d", c.name, shards), func(b *testing.B) {
+				b.ReportAllocs()
+				var cycles uint64
+				for i := 0; i < b.N; i++ {
+					sys, err := inpg.New(largeMeshConfig(c.dim, shards, c.lk, c.parallel))
+					if err != nil {
+						b.Fatal(err)
+					}
+					res, err := sys.Run()
+					if err != nil {
+						b.Fatal(err)
+					}
+					cycles += res.Runtime
+				}
+				b.ReportMetric(float64(cycles)/float64(b.N), "sim-cycles/run")
+			})
+		}
+	}
 }
 
 // BenchmarkAblationBarrierTTL runs the barrier-TTL ablation and reports

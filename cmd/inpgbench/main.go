@@ -54,6 +54,7 @@ func main() {
 		seed    = flag.Int64("seed", 42, "random seed")
 		seeds   = flag.Int("seeds", 1, "seeds to average over (figures 11/12)")
 		workers = flag.Int("workers", 0, "concurrent simulations per sweep (0 = GOMAXPROCS)")
+		shards  = flag.Int("shards", 1, "mesh row-stripe shards ticked in parallel inside each run (1 = classic engine; identical output)")
 		compat  = flag.Bool("compat", false, "always-tick engine mode (slow reference scheduler; identical output)")
 		fRate   = flag.Float64("faultrate", 0, "combined transient link/port fault rate (0 = faults off)")
 		fSeed   = flag.Int64("faultseed", 0, "fault injector seed (0 = derived from -seed)")
@@ -102,7 +103,7 @@ func main() {
 		}()
 	}
 
-	o := experiments.Options{Scale: *scale, Seed: *seed, Seeds: *seeds, Quick: *quick, Workers: *workers, Compat: *compat,
+	o := experiments.Options{Scale: *scale, Seed: *seed, Seeds: *seeds, Quick: *quick, Workers: *workers, Shards: *shards, Compat: *compat,
 		FaultRate: *fRate, FaultSeed: *fSeed, WatchdogWindow: *wdog,
 		Metrics: *metrics, MetricsSampleEvery: *mEvery, ManifestDir: *manDir,
 		Retries: *retries, RunTimeout: *runTO, Resume: *resume,

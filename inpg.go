@@ -249,6 +249,19 @@ type Config struct {
 	// the mode exists as the reference for that differential check and for
 	// debugging suspected wake/sleep protocol violations.
 	AlwaysTick bool
+
+	// Shards, when ≥ 2, partitions the mesh into that many contiguous
+	// row stripes and runs each stripe's per-cycle tick work on its own
+	// goroutine, synchronized by a conservative-lookahead barrier every
+	// cycle (internal/sim/shard.go, internal/noc/shard.go). Results,
+	// figures and traces are bit-identical for every shard count — the
+	// differential tests at the repository root pin this — so Shards is
+	// purely an execution strategy for large meshes, not a simulation
+	// parameter. It is therefore excluded from the JSON encoding: the
+	// config digest, run manifests and reports must not distinguish runs
+	// by how many goroutines computed them. Counts above MeshHeight are
+	// clamped; 0 and 1 run the classic single-threaded engine.
+	Shards int `json:"-"`
 }
 
 // Digest returns a short stable fingerprint of the configuration: the hex
@@ -371,6 +384,9 @@ func New(cfg Config) (*System, error) {
 	if cfg.CSPerThread <= 0 {
 		return nil, fmt.Errorf("inpg: CSPerThread must be positive")
 	}
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("inpg: Shards must be non-negative, got %d", cfg.Shards)
+	}
 
 	eng := sim.NewEngine(cfg.Seed)
 	eng.SetAlwaysTick(cfg.AlwaysTick)
@@ -387,6 +403,12 @@ func New(cfg Config) (*System, error) {
 	fcfg.Dir.DisableAckOverlap = cfg.DisableAckOverlap
 	fab, err := coherence.NewFabric(eng, fcfg)
 	if err != nil {
+		return nil, err
+	}
+	// Sharding arms right after the fabric wires the mesh: routers and
+	// NIs are the engine's only tickers (everything else is event-driven),
+	// which is exactly what the row-stripe partition requires.
+	if _, err := fab.Net.SetShards(cfg.Shards); err != nil {
 		return nil, err
 	}
 
@@ -717,6 +739,10 @@ func (s *System) collect() *Results {
 
 // Engine exposes the simulation engine (advanced use, examples).
 func (s *System) Engine() *sim.Engine { return s.eng }
+
+// ShardCount reports the shard count in effect (1 on the classic
+// single-threaded engine; Config.Shards after clamping otherwise).
+func (s *System) ShardCount() int { return s.fab.Net.ShardCount() }
 
 // Fabric exposes the coherent memory system (tests, invariant checks).
 func (s *System) Fabric() *coherence.Fabric { return s.fab }

@@ -41,6 +41,13 @@ type Options struct {
 	// Programs, when non-empty, restricts the program-sweep figures
 	// (8, 11/12) to the named workload profiles.
 	Programs []string
+	// Shards splits each simulation's mesh into this many row stripes
+	// ticked by parallel shard workers (Config.Shards). Like Workers it is
+	// an execution strategy, not a simulation parameter: figure outputs are
+	// bit-identical for every value. 0 or 1 keeps the classic engine.
+	// Combining Shards > 1 with Workers > 1 oversubscribes the host —
+	// prefer sharding single long runs and worker-parallelism for sweeps.
+	Shards int
 	// Compat runs every simulation with the engine's always-tick
 	// reference mode instead of activity-driven scheduling. Figure
 	// outputs are identical either way (the scheduler is cycle-exact);
@@ -173,6 +180,7 @@ func ConfigFor(p workload.Profile, mech inpg.Mechanism, lk inpg.LockKind, o Opti
 	cfg.ParallelCycles = p.ParallelCycles
 	cfg.ParallelJitter = p.ParallelCycles / 3
 	cfg.AlwaysTick = o.Compat
+	cfg.Shards = o.Shards
 	cfg.WatchdogWindow = o.WatchdogWindow
 	cfg.Metrics = o.Metrics
 	cfg.MetricsSampleEvery = o.MetricsSampleEvery

@@ -1,0 +1,226 @@
+package noc
+
+import (
+	"fmt"
+
+	"inpg/internal/sim"
+)
+
+// Spatial sharding: the mesh is partitioned into contiguous row stripes,
+// one shard each, and the engine ticks the stripes on parallel goroutines
+// (see internal/sim/shard.go). Every cross-shard interaction in the NoC
+// is stamped at now+1 — link traversal and credit return both take one
+// cycle — so the minimum cross-shard latency is the conservative
+// lookahead bound, and staging those interactions until the end-of-cycle
+// barrier cannot change what any router observes.
+//
+// What gets staged:
+//
+//   - Flit pushes whose destination router is a *boundary* router (one
+//     with any neighbor in another shard). Inbox order is observable —
+//     it drives interceptor invocation order — and a boundary inbox
+//     receives appends from more than one shard, so every push to it is
+//     staged and replayed at the barrier K-way merged by source router
+//     handle. Shards tick their routers in ascending handle order and
+//     partition the handle space, so the merge reproduces the exact
+//     append order of the sequential pass. Pushes to interior routers
+//     come only from the destination's own shard, already in sequential
+//     order, and stay direct.
+//   - Credits crossing a shard edge. Credit application is commutative
+//     (due credits sum into a counter), so these need no merge — each
+//     shard's staged credits apply in shard order.
+//
+// A staged push or credit also defers its destination wake to the
+// barrier: a router that slept mid-pass because its work was in staging
+// is re-woken before the next cycle, landing in exactly the awake set
+// the sequential engine produces at that cycle boundary.
+type stagedArrival struct {
+	src sim.Handle // handle of the pushing router, the merge key
+	dst *Router
+	a   arrival
+}
+
+type stagedCredit struct {
+	dst *Router
+	c   creditMsg
+}
+
+// nocShard is one shard's staging buffers, padded against false sharing:
+// neighboring shards append concurrently during a pass.
+type nocShard struct {
+	arrivals []stagedArrival
+	credits  []stagedCredit
+	_        [64]byte
+}
+
+// ShardingStats counts cross-boundary traffic handled by the staging
+// machinery (both deterministic for a fixed configuration and seed).
+type ShardingStats struct {
+	BoundaryArrivals uint64 // flit pushes staged to boundary routers
+	BoundaryCredits  uint64 // credits staged across shard edges
+}
+
+// SetShards partitions the mesh into up to `shards` contiguous row
+// stripes and arms the engine's parallel tick pass. A count above the
+// mesh height is clamped (a stripe must hold at least one row); counts
+// below 2 leave the network — and the engine — exactly as built. It
+// returns the shard count actually in effect.
+//
+// Must be called after New (and after any SetAlwaysTick), before the
+// first Run, and only once; the engine must hold no tickers beyond this
+// network's routers and NIs.
+func (n *Network) SetShards(shards int) (int, error) {
+	if shards < 0 {
+		return 0, fmt.Errorf("noc: shard count %d is negative", shards)
+	}
+	if shards <= 1 {
+		return 1, nil
+	}
+	if n.shards > 1 {
+		return 0, fmt.Errorf("noc: SetShards called twice")
+	}
+	if shards > n.mesh.Height {
+		shards = n.mesh.Height
+	}
+	nodes := n.mesh.Nodes()
+	if got := n.eng.TickerCount(); got != 2*nodes {
+		return 0, fmt.Errorf("noc: engine holds %d tickers, want %d: the network must own every ticker to shard the pass", got, 2*nodes)
+	}
+
+	// Row stripes over row-major node IDs: shard boundaries are whole
+	// mesh rows, so every cross-shard link is a North/South link and each
+	// shard's routers (and NIs) occupy contiguous handle ranges.
+	shardOfNode := make([]int32, nodes)
+	for id := range shardOfNode {
+		row := id / n.mesh.Width
+		shardOfNode[id] = int32(row * shards / n.mesh.Height)
+	}
+	for id, r := range n.routers {
+		r.shard = shardOfNode[id]
+		n.nis[id].shard = shardOfNode[id]
+	}
+
+	// A boundary router's inbox is a multi-shard append target: all
+	// pushes toward it are staged, even same-shard ones, so the barrier
+	// merge sees the complete per-cycle append set.
+	boundary := make([]bool, nodes)
+	for id, r := range n.routers {
+		for p := North; p <= West; p++ {
+			if nb := r.neighbors[p]; nb != nil && nb.shard != r.shard {
+				boundary[id] = true
+				break
+			}
+		}
+	}
+	for _, r := range n.routers {
+		for p := North; p <= West; p++ {
+			if nb := r.neighbors[p]; nb != nil {
+				r.stagePush[p] = boundary[nb.ID]
+				r.stageCred[p] = nb.shard != r.shard
+			}
+		}
+	}
+
+	// Per-shard packet free lists: recycling happens on the owning
+	// shard's goroutine during passes. Pool identity is behaviorally
+	// invisible (shells are zeroed on reuse), so this cannot perturb the
+	// simulation.
+	n.shardPools = make([]packetPool, shards)
+	for id, r := range n.routers {
+		r.pool = &n.shardPools[shardOfNode[id]]
+		n.nis[id].pool = &n.shardPools[shardOfNode[id]]
+	}
+
+	n.shards = shards
+	n.shardSt = make([]nocShard, shards)
+	n.mergeIdx = make([]int, shards)
+	if err := n.eng.SetShards(shards, func(h sim.Handle) int {
+		// Registration order: routers 0..nodes-1, then NIs nodes..2*nodes-1.
+		return int(shardOfNode[int(h)%nodes])
+	}); err != nil {
+		return 0, err
+	}
+	n.eng.SetPassFlush(n.flushStaged)
+	return shards, nil
+}
+
+// ShardCount reports the shard count in effect (1 when unsharded).
+func (n *Network) ShardCount() int {
+	if n.shards < 2 {
+		return 1
+	}
+	return n.shards
+}
+
+// ShardingStats returns cumulative boundary-traffic counters.
+func (n *Network) ShardingStats() ShardingStats {
+	return ShardingStats{BoundaryArrivals: n.boundaryArrivals, BoundaryCredits: n.boundaryCredits}
+}
+
+// stageArrival records a pass-time flit push to a boundary router for
+// replay at the barrier. Called only from the staging shard's goroutine.
+func (n *Network) stageArrival(shard int32, src sim.Handle, dst *Router, a arrival) {
+	st := &n.shardSt[shard]
+	st.arrivals = append(st.arrivals, stagedArrival{src: src, dst: dst, a: a})
+}
+
+// stageCredit records a pass-time cross-shard credit for replay.
+func (n *Network) stageCredit(shard int32, dst *Router, c creditMsg) {
+	st := &n.shardSt[shard]
+	st.credits = append(st.credits, stagedCredit{dst: dst, c: c})
+}
+
+// flushStaged is the engine's pass-flush hook: it applies every staged
+// credit and arrival on the main goroutine at the cycle barrier.
+func (n *Network) flushStaged() {
+	// Credits first or last — it cannot matter: they land in a different
+	// per-router list than arrivals and application is commutative.
+	for s := range n.shardSt {
+		st := &n.shardSt[s]
+		for i := range st.credits {
+			sc := &st.credits[i]
+			sc.dst.credits = append(sc.dst.credits, sc.c)
+			sc.dst.wake()
+		}
+		n.boundaryCredits += uint64(len(st.credits))
+	}
+
+	// Arrivals replay in ascending source-router-handle order — the
+	// order the sequential pass appends them. Each shard's list is
+	// already ascending (shards tick ascending handles), so a K-way
+	// merge on the heads suffices; sources are partitioned across
+	// shards, so keys never tie.
+	total := 0
+	for s := range n.mergeIdx {
+		n.mergeIdx[s] = 0
+		total += len(n.shardSt[s].arrivals)
+	}
+	for done := 0; done < total; done++ {
+		best := -1
+		var bestSrc sim.Handle
+		for s := range n.shardSt {
+			if i := n.mergeIdx[s]; i < len(n.shardSt[s].arrivals) {
+				if src := n.shardSt[s].arrivals[i].src; best == -1 || src < bestSrc {
+					best, bestSrc = s, src
+				}
+			}
+		}
+		sa := &n.shardSt[best].arrivals[n.mergeIdx[best]]
+		n.mergeIdx[best]++
+		sa.dst.inbox = append(sa.dst.inbox, sa.a)
+		sa.dst.wake()
+	}
+	n.boundaryArrivals += uint64(total)
+
+	for s := range n.shardSt {
+		st := &n.shardSt[s]
+		for i := range st.arrivals {
+			st.arrivals[i] = stagedArrival{}
+		}
+		st.arrivals = st.arrivals[:0]
+		for i := range st.credits {
+			st.credits[i] = stagedCredit{}
+		}
+		st.credits = st.credits[:0]
+	}
+}

@@ -1,0 +1,130 @@
+package noc
+
+import (
+	"testing"
+
+	"inpg/internal/fault"
+	"inpg/internal/sim"
+)
+
+func TestSetShardsValidation(t *testing.T) {
+	eng := sim.NewEngine(1)
+	n, err := New(eng, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.SetShards(-1); err == nil {
+		t.Fatal("negative shard count must be rejected")
+	}
+	if got, err := n.SetShards(0); err != nil || got != 1 {
+		t.Fatalf("SetShards(0) = (%d, %v), want (1, nil)", got, err)
+	}
+	if got, err := n.SetShards(1); err != nil || got != 1 {
+		t.Fatalf("SetShards(1) = (%d, %v), want (1, nil)", got, err)
+	}
+	if n.ShardCount() != 1 {
+		t.Fatalf("ShardCount = %d after no-op SetShards, want 1", n.ShardCount())
+	}
+	// A count above the mesh height clamps to one stripe per row.
+	if got, err := n.SetShards(1000); err != nil || got != n.Mesh().Height {
+		t.Fatalf("SetShards(1000) = (%d, %v), want (%d, nil)", got, err, n.Mesh().Height)
+	}
+	if _, err := n.SetShards(2); err == nil {
+		t.Fatal("second SetShards call must be rejected")
+	}
+}
+
+func TestSetShardsRejectsForeignTickers(t *testing.T) {
+	eng := sim.NewEngine(1)
+	n, err := New(eng, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Register(sim.TickFunc(func(sim.Cycle) {})) // not owned by the network
+	if _, err := n.SetShards(2); err == nil {
+		t.Fatal("SetShards must refuse an engine with tickers the network does not own")
+	}
+}
+
+// delivery is a value snapshot of one delivered packet (the shells are
+// recycled after the sink returns, so fields must be copied out).
+type delivery struct {
+	src, dst NodeID
+	id       uint64
+	injected sim.Cycle
+	arrived  sim.Cycle
+	hops     int
+}
+
+// shardRun drives an all-pairs workload (plus a hotspot burst onto node 0)
+// under the given shard count and returns every node's delivered stream in
+// arrival order.
+func shardRun(t *testing.T, cfg Config, shards int) ([][]delivery, ShardingStats) {
+	t.Helper()
+	eng := sim.NewEngine(7)
+	n, err := New(eng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.SetShards(shards); err != nil {
+		t.Fatal(err)
+	}
+	got := make([][]delivery, cfg.Mesh.Nodes())
+	for id := 0; id < cfg.Mesh.Nodes(); id++ {
+		id := id
+		n.NI(NodeID(id)).SetSink(SinkFunc(func(now sim.Cycle, p *Packet) {
+			got[id] = append(got[id], delivery{src: p.Src, dst: p.Dst, id: p.ID,
+				injected: p.InjectedAt, arrived: now, hops: p.Hops})
+		}))
+	}
+	total := 0
+	for s := 0; s < cfg.Mesh.Nodes(); s++ {
+		for d := 0; d < cfg.Mesh.Nodes(); d++ {
+			n.NI(NodeID(s)).Inject(&Packet{Dst: NodeID(d), VNet: VNet(int(s+d) % int(NumVNets)), Size: 1})
+			total++
+		}
+		n.NI(NodeID(s)).Inject(&Packet{Dst: 0, VNet: VNetResponse, Size: DataFlits})
+		total++
+	}
+	if _, err := eng.Run(200000, func() bool { return n.InFlight() == 0 }); err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for _, g := range got {
+		count += len(g)
+	}
+	if count != total {
+		t.Fatalf("delivered %d/%d packets under %d shards", count, total, shards)
+	}
+	return got, n.ShardingStats()
+}
+
+// TestShardedDeliveryBitIdentical runs the same traffic under 1, 2 and
+// mesh-height shards and demands identical delivery streams — same packet
+// IDs, same injection and arrival cycles, same per-node arrival order.
+func TestShardedDeliveryBitIdentical(t *testing.T) {
+	for _, cfg := range []Config{
+		{Mesh: Mesh{Width: 4, Height: 4}, VCsPerPort: 6, VCDepth: 4},
+		{Mesh: Mesh{Width: 4, Height: 4}, VCsPerPort: 6, VCDepth: 4,
+			Fault: fault.AtRate(0.002, 99)},
+	} {
+		base, _ := shardRun(t, cfg, 1)
+		for _, shards := range []int{2, cfg.Mesh.Height} {
+			got, st := shardRun(t, cfg, shards)
+			if st.BoundaryArrivals == 0 {
+				t.Fatalf("%d shards: no arrivals were staged; boundary classification is wrong", shards)
+			}
+			for id := range base {
+				if len(got[id]) != len(base[id]) {
+					t.Fatalf("%d shards: node %d received %d packets, want %d", shards, id, len(got[id]), len(base[id]))
+				}
+				for i := range base[id] {
+					if got[id][i] != base[id][i] {
+						t.Fatalf("%d shards: node %d delivery %d = %+v, want %+v (faults=%v)",
+							shards, id, i, got[id][i], base[id][i], cfg.Fault.Enabled())
+					}
+				}
+			}
+		}
+	}
+}
