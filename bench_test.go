@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"inpg"
+	"inpg/internal/analytic"
 	"inpg/internal/experiments"
 )
 
@@ -295,8 +296,17 @@ func BenchmarkSimulatorLargeMesh(b *testing.B) {
 		{"32x32-TTL-contended", 32, inpg.LockTTL, 20000},
 	}
 	for _, c := range cases {
-		for _, shards := range []int{1, 2, 4, 8} {
-			b.Run(fmt.Sprintf("%s/shards=%d", c.name, shards), func(b *testing.B) {
+		// 0 benches the CLIs' -shards 0 auto mode: inpg.AutoShards picks
+		// the count from GOMAXPROCS and the mesh, so on a single-core
+		// host it must match shards=1 (the gate against paying barrier
+		// overhead with no cores to spread it over).
+		for _, shards := range []int{1, 2, 4, 8, 0} {
+			name := fmt.Sprintf("%s/shards=%d", c.name, shards)
+			if shards == 0 {
+				shards = inpg.AutoShards(c.dim, c.dim)
+				name = fmt.Sprintf("%s/shards=auto(%d)", c.name, shards)
+			}
+			b.Run(name, func(b *testing.B) {
 				b.ReportAllocs()
 				var cycles uint64
 				for i := 0; i < b.N; i++ {
@@ -313,6 +323,45 @@ func BenchmarkSimulatorLargeMesh(b *testing.B) {
 				b.ReportMetric(float64(cycles)/float64(b.N), "sim-cycles/run")
 			})
 		}
+	}
+}
+
+// BenchmarkAnalyticEstimate measures the analytic fast model's per-cell
+// cost: what a sweep cell answered by internal/analytic costs instead
+// of a detailed simulation. Cycling the contention level defeats any
+// accidental memoization without changing what is measured.
+func BenchmarkAnalyticEstimate(b *testing.B) {
+	cfg := inpg.DefaultConfig()
+	var sink analytic.Estimate
+	for i := 0; i < b.N; i++ {
+		cfg.ParallelCycles = 200 << (i % 12)
+		sink = analytic.For(cfg)
+	}
+	_ = sink
+}
+
+// BenchmarkPreSweep runs the quick contention ladder both ways: the
+// exhaustive reference and the analytically pre-screened hybrid. The
+// figure bytes are identical (pinned by test); the ns/op gap and the
+// sim-cells metric are the pre-screening payoff.
+func BenchmarkPreSweep(b *testing.B) {
+	for _, pre := range []bool{false, true} {
+		name := "exhaustive"
+		if pre {
+			name = "prescreened"
+		}
+		b.Run(name, func(b *testing.B) {
+			o := benchOpts()
+			var cells float64
+			for i := 0; i < b.N; i++ {
+				r, err := experiments.RunPre(o, pre)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cells = float64(r.SimCells)
+			}
+			b.ReportMetric(cells, "sim-cells")
+		})
 	}
 }
 

@@ -9,6 +9,7 @@
 //	inpgbench -fig 11,12       # the shared 24-program × 4-mechanism suite
 //	inpgbench -all             # everything (several minutes)
 //	inpgbench -all -quick      # reduced-size runs
+//	inpgbench -fig pre -prescreen  # analytically pre-screened contention sweep
 package main
 
 import (
@@ -46,7 +47,7 @@ func parseCells(s string) []int {
 
 func main() {
 	var (
-		fig     = flag.String("fig", "", "comma-separated figure list: t1,2,7,8,9,10,11,12,13,14,15,abl,res")
+		fig     = flag.String("fig", "", "comma-separated figure list: t1,2,7,8,9,10,11,12,13,14,15,abl,res,pre")
 		all     = flag.Bool("all", false, "run every figure")
 		quick   = flag.Bool("quick", false, "smaller runs (for smoke testing)")
 		full    = flag.Bool("full13", false, "run Figure 13 over all 24 programs instead of 9")
@@ -54,7 +55,8 @@ func main() {
 		seed    = flag.Int64("seed", 42, "random seed")
 		seeds   = flag.Int("seeds", 1, "seeds to average over (figures 11/12)")
 		workers = flag.Int("workers", 0, "concurrent simulations per sweep (0 = GOMAXPROCS)")
-		shards  = flag.Int("shards", 1, "mesh row-stripe shards ticked in parallel inside each run (1 = classic engine; identical output)")
+		shards  = flag.Int("shards", 0, "mesh row-stripe shards ticked in parallel inside each run (0 = auto: one per core, capped at mesh rows, classic engine under 256 nodes; 1 = classic engine; identical output)")
+		prescr  = flag.Bool("prescreen", false, "figure pre: analytically pre-select interesting cells and run only those in the detailed simulator (byte-identical output, skipped cells get estimate manifests)")
 		compat  = flag.Bool("compat", false, "always-tick engine mode (slow reference scheduler; identical output)")
 		fRate   = flag.Float64("faultrate", 0, "combined transient link/port fault rate (0 = faults off)")
 		fSeed   = flag.Int64("faultseed", 0, "fault injector seed (0 = derived from -seed)")
@@ -240,6 +242,18 @@ func main() {
 		if err != nil {
 			return "", err
 		}
+		return r.Render(), nil
+	})
+	// The pre-screened contention sweep (not a paper figure, excluded
+	// from -all): the analytic fast model screens the ladder; with
+	// -prescreen only the interesting cells reach the detailed
+	// simulator. Output is byte-identical either way (pinned by test).
+	show("pre", func() (string, error) {
+		r, err := experiments.RunPre(o, *prescr)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(os.Stderr, "[pre: %d of %d cells simulated in detail]\n", r.SimCells, r.TotalCells)
 		return r.Render(), nil
 	})
 	show("abl", func() (string, error) {

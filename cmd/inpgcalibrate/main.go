@@ -1,0 +1,378 @@
+// Command inpgcalibrate refits the analytic fast model's coefficient
+// table: it runs the calibration grid (6 locks × 4 mechanisms ×
+// {4×4, 8×8} meshes × 5 contention levels, seed 42) through the cycle
+// simulator, inverts the model at the anchor cells (fixed-point
+// iteration over the mutually dependent coefficients, then a
+// hop-decomposition across the two mesh sizes; DESIGN.md §11), and
+// prints the Go literal for internal/analytic/table.go with per-cell
+// fit-quality comments.
+//
+// Run it after any simulator change that legitimately moves the
+// physics (the drift test TestModelWithinRecordedBounds failing is the
+// signal), paste the table, re-run the validation grid, and update
+// analytic.RecordedBounds to the new measured errors:
+//
+//	go run ./cmd/inpgcalibrate > /tmp/table.txt   # ~4 min single-core
+//	go test ./internal/analytic -run ModelWithinRecordedBounds -v
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+
+	"inpg"
+	"inpg/internal/analytic"
+)
+
+var pcs = []int{200, 800, 3200, 12800, 51200}
+
+type cell struct {
+	cfg     inpg.Config
+	totalCS int
+	res     *inpg.Results
+}
+
+func configFor(lk inpg.LockKind, m inpg.Mechanism, mesh, pc int) inpg.Config {
+	cfg := inpg.DefaultConfig()
+	cfg.MeshWidth, cfg.MeshHeight = mesh, mesh
+	cfg.Lock = lk
+	cfg.Mechanism = m
+	cfg.Seed = 42
+	cfg.CSPerThread = 4
+	cfg.CSCycles = 100
+	cfg.CSJitter = 33
+	cfg.ParallelCycles = pc
+	cfg.ParallelJitter = pc / 3
+	return cfg
+}
+
+func run(cfg inpg.Config) *inpg.Results {
+	sys, err := inpg.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "new:", err)
+		os.Exit(1)
+	}
+	res, err := sys.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "run:", cfg.Lock, cfg.Mechanism, cfg.ParallelCycles, err)
+		os.Exit(1)
+	}
+	return res
+}
+
+// bisect finds v in [lo,hi] with f(v) ≈ target, f nondecreasing.
+func bisect(lo, hi, target float64, f func(float64) float64) float64 {
+	for i := 0; i < 80; i++ {
+		mid := (lo + hi) / 2
+		if f(mid) < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func main() {
+	locks := []inpg.LockKind{inpg.LockTAS, inpg.LockTTL, inpg.LockABQL, inpg.LockMCS, inpg.LockQSL, inpg.LockCLH}
+	fmt.Println("var coefs = [6][4]Coef{")
+	for _, lk := range locks {
+		fmt.Printf("\tinpg.Lock%s: {\n", lockName(lk))
+		for _, m := range inpg.Mechanisms {
+			// Simulate the calibration grid for this pair.
+			cells := map[[2]int]cell{} // [mesh, pc]
+			for _, mesh := range []int{4, 8} {
+				for _, pc := range pcs {
+					cfg := configFor(lk, m, mesh, pc)
+					cells[[2]int{mesh, pc}] = cell{cfg, mesh * mesh * cfg.CSPerThread, run(cfg)}
+				}
+			}
+			c := fit(cells)
+			fmt.Printf("\t\tinpg.%s: {SBase: %.4g, SHop: %.4g, SFloor: %.4g, AUncBase: %.4g, AUncHop: %.4g, ECseBase: %.4g, ECseHop: %.4g, FCoh: %.4g, STail: %.4g, FBase: %.4g, FBaseHop: %.4g, FWait: %.4g, FWaitHop: %.4g, LSer: %.4g, FHotHop: %.4g, LGain: %.4g},\n",
+				mechName(m), c.SBase, c.SHop, c.SFloor, c.AUncBase, c.AUncHop, c.ECseBase, c.ECseHop, c.FCoh, c.STail, c.FBase, c.FBaseHop, c.FWait, c.FWaitHop, c.LSer, c.FHotHop, c.LGain)
+			reportFit(lk, m, c, cells)
+		}
+		fmt.Println("\t},")
+	}
+	fmt.Println("}")
+}
+
+func fit(cells map[[2]int]cell) analytic.Coef {
+	var c analytic.Coef
+	c.FCoh = 1
+	meshes := []int{4, 8}
+	rtt := map[int]float64{}
+	for _, mesh := range meshes {
+		rtt[mesh] = 4 * analytic.Coef{}.Estimate(cells[[2]int{mesh, 200}].cfg).MeanHopsHome
+	}
+	dec := func(v4, v8 float64) (base, hop float64) {
+		hop = clamp((v8-v4)/(rtt[8]-rtt[4]), 0, 1e9)
+		return v8 - hop*rtt[8], hop
+	}
+	at := func(mesh int, base, hop float64) float64 { return base + hop*rtt[mesh] }
+
+	// The uncontended anchor (pc=51200) still contains the queueing wait
+	// the MVA itself predicts at that think time, so AUnc (the protocol
+	// floor) and the S/FCoh fits are mutually dependent: iterate the
+	// anchor inversion to a fixed point. Each pass re-derives the
+	// per-mesh raw anchors under the current model, re-decomposes them
+	// into base+hop form, then refits SLoad and FCoh.
+	aUnc := map[int]float64{4: 0, 8: 0}
+	for pass := 0; pass < 4; pass++ {
+		s, cse := map[int]float64{}, map[int]float64{}
+		for _, mesh := range meshes {
+			unc := cells[[2]int{mesh, 51200}]
+			tcs := float64(unc.totalCS)
+			measured := float64(unc.res.COH+unc.res.Sleep) / tcs
+			if pass == 0 {
+				aUnc[mesh] = measured
+			} else {
+				wcUnc := c.Estimate(unc.cfg).WaitPerAcquire
+				aUnc[mesh] = clamp(measured-c.FCoh*wcUnc, 0, measured)
+			}
+			cse[mesh] = float64(unc.res.CSE)/tcs - 100
+			// Serialized period from the most contended cell: invert runtime
+			// under the current AUnc/SLoad/FCoh.
+			hot := cells[[2]int{mesh, 200}]
+			probe := c
+			probe.AUncBase, probe.AUncHop = aUnc[mesh], 0
+			probe.ECseBase, probe.ECseHop = cse[mesh], 0
+			probe.SHop = 0
+			s[mesh] = bisect(1, 30000, float64(hot.res.Runtime), func(v float64) float64 {
+				probe.SBase = v
+				return probe.Estimate(hot.cfg).Runtime
+			})
+		}
+		c.SBase, c.SHop = dec(s[4], s[8])
+		if c.SBase < 1 { // hop slope over-explains: pin to the 8×8 anchor
+			c.SBase, c.SHop = s[8], 0
+		}
+		c.AUncBase, c.AUncHop = dec(aUnc[4], aUnc[8])
+		c.ECseBase, c.ECseHop = dec(cse[4], cse[8])
+
+		// SFloor from the partially loaded 8×8 cell. Out-of-range targets
+		// clamp to the nearest bound (best effort: the cell may be
+		// parallel-limited, where SFloor has no leverage).
+		mid := cells[[2]int{8, 12800}]
+		rAt := func(sf float64) float64 {
+			cc := c
+			cc.SFloor = sf
+			return cc.Estimate(mid.cfg).Runtime
+		}
+		target := float64(mid.res.Runtime)
+		switch lo, hi := rAt(0.05), rAt(2.5); {
+		case target <= lo:
+			c.SFloor = 0.05
+		case target >= hi:
+			c.SFloor = 2.5
+		default:
+			c.SFloor = bisect(0.05, 2.5, target, rAt)
+		}
+
+		// FCoh by least squares over the contended-to-knee 8×8 cells'
+		// COH+Sleep totals (target = FCoh × wait, through the origin).
+		var num, den float64
+		for _, pc := range []int{200, 3200, 12800} {
+			cl := cells[[2]int{8, pc}]
+			wc := c.Estimate(cl.cfg).WaitPerAcquire
+			if wc <= 1 {
+				continue
+			}
+			target := float64(cl.res.COH+cl.res.Sleep)/float64(cl.totalCS) - at(8, c.AUncBase, c.AUncHop)
+			num += target * wc
+			den += wc * wc
+		}
+		if den > 0 {
+			c.FCoh = clamp(num/den, 0.05, 2)
+		}
+	}
+
+	// Final S re-fit with SFloor/FCoh frozen, so the contended anchor is
+	// hit exactly under the coefficients that will ship.
+	{
+		s := map[int]float64{}
+		for _, mesh := range meshes {
+			hot := cells[[2]int{mesh, 200}]
+			probe := c
+			probe.AUncBase, probe.AUncHop = at(mesh, c.AUncBase, c.AUncHop), 0
+			probe.ECseBase, probe.ECseHop = at(mesh, c.ECseBase, c.ECseHop), 0
+			probe.SHop = 0
+			s[mesh] = bisect(1, 30000, float64(hot.res.Runtime), func(v float64) float64 {
+				probe.SBase = v
+				return probe.Estimate(hot.cfg).Runtime
+			})
+		}
+		c.SBase, c.SHop = dec(s[4], s[8])
+		if c.SBase < 1 {
+			c.SBase, c.SHop = s[8], 0
+		}
+	}
+
+	// STail (QSL): episodes × (fixed cost + STail × wait) = measured
+	// sleep. 2048 is the default spin budget (QSLRetries × poll cycles)
+	// and 6000 the fixed episode cost (2 context switches + wakeup),
+	// mirroring the model's constants for the default config.
+	hot8 := cells[[2]int{8, 200}]
+	if hot8.cfg.Lock == inpg.LockQSL && hot8.res.Sleeps > 0 {
+		e := c.Estimate(hot8.cfg)
+		pSleep := math.Exp(-2048 / e.WaitPerAcquire)
+		if eps := float64(hot8.totalCS) * pSleep; eps > 0.5 && e.WaitPerAcquire > 1 {
+			c.STail = clamp((float64(hot8.res.Sleep)/eps-6000)/e.WaitPerAcquire, 0, 2)
+		}
+	}
+
+	// Flits per CS: protocol exchange (uncontended anchor) plus polling
+	// traffic per wait cycle (contended anchor), each hop-decomposed.
+	fb, fw := map[int]float64{}, map[int]float64{}
+	for _, mesh := range meshes {
+		unc, hot := cells[[2]int{mesh, 51200}], cells[[2]int{mesh, 200}]
+		wcUnc := c.Estimate(unc.cfg).WaitPerAcquire
+		wcHot := c.Estimate(hot.cfg).WaitPerAcquire
+		fUnc := float64(unc.res.FlitsSwitched) / float64(unc.totalCS)
+		fHot := float64(hot.res.FlitsSwitched) / float64(hot.totalCS)
+		if wcHot-wcUnc > 1 {
+			fw[mesh] = clamp((fHot-fUnc)/(wcHot-wcUnc), 0, 1e9)
+		}
+		fb[mesh] = clamp(fUnc-fw[mesh]*wcUnc, 1, 1e9)
+	}
+	c.FBase, c.FBaseHop = dec(fb[4], fb[8])
+	c.FWait, c.FWaitHop = dec(fw[4], fw[8])
+	if c.FBase < 1 {
+		c.FBase, c.FBaseHop = fb[8], 0
+	}
+
+	// Latency: grid-search the hot-link flit-cycles-per-rtt FHotHop; for
+	// each candidate solve (LSer, LGain) by least squares over all cells,
+	// 8×8 weighted 3× (the campaign mesh).
+	type lc struct{ xr, lat, floor, wt float64 }
+	var lcs []lc
+	maxXR := 0.0
+	for _, mesh := range meshes {
+		for _, pc := range pcs {
+			cl := cells[[2]int{mesh, pc}]
+			e := c.Estimate(cl.cfg)
+			floor := 2 * (e.MeanHopsHome + e.MeanHopsUniform) / 2
+			xr := float64(cl.totalCS) / float64(cl.res.Runtime) * rtt[mesh]
+			wt := 1.0
+			if mesh == 8 {
+				wt = 3
+			}
+			lcs = append(lcs, lc{xr, cl.res.NetMeanLatency, floor, wt})
+			if xr > maxXR {
+				maxXR = xr
+			}
+		}
+	}
+	bestErr := math.Inf(1)
+	for i := 0; i <= 400; i++ {
+		fh := float64(i) / 400 * 0.96 / maxXR
+		var sw, sg, sgg, sy, sgy float64
+		for _, p := range lcs {
+			u := math.Min(0.96, p.xr*fh)
+			g := u / (1 - u)
+			y := p.lat - p.floor
+			sw += p.wt
+			sg += p.wt * g
+			sgg += p.wt * g * g
+			sy += p.wt * y
+			sgy += p.wt * g * y
+		}
+		det := sw*sgg - sg*sg
+		var lser, lgain float64
+		if det > 1e-12 {
+			lgain = (sw*sgy - sg*sy) / det
+			lser = (sy - lgain*sg) / sw
+		} else {
+			lser, lgain = sy/sw, 0
+		}
+		if lgain < 0 {
+			lgain, lser = 0, sy/sw
+		}
+		errSum := 0.0
+		for _, p := range lcs {
+			u := math.Min(0.96, p.xr*fh)
+			pred := p.floor + lser + lgain*u/(1-u)
+			errSum += p.wt * (pred - p.lat) * (pred - p.lat)
+		}
+		if errSum < bestErr {
+			bestErr, c.FHotHop, c.LGain, c.LSer = errSum, fh, lgain, lser
+		}
+	}
+	return c
+}
+
+func reportFit(lk inpg.LockKind, m inpg.Mechanism, c analytic.Coef, cells map[[2]int]cell) {
+	worst := 0.0
+	var sum float64
+	var n int
+	detail := ""
+	for _, mesh := range []int{4, 8} {
+		for _, pc := range pcs {
+			cl := cells[[2]int{mesh, pc}]
+			e := c.Estimate(cl.cfg)
+			re := func(est, meas float64) float64 {
+				if meas == 0 {
+					return 0
+				}
+				return math.Abs(est-meas) / meas
+			}
+			rr := re(e.Runtime, float64(cl.res.Runtime))
+			rt := re(e.CSPerKCycle, 1000*float64(cl.res.CSCompleted)/float64(cl.res.Runtime))
+			rl := re(e.NetMeanLatency, cl.res.NetMeanLatency)
+			ru := re(e.LinkUtilization, float64(cl.res.FlitsSwitched)/(float64(cl.res.Runtime)*float64(mesh*mesh)))
+			rc := re(e.CSTime(), float64(cl.res.COH+cl.res.Sleep+cl.res.CSE))
+			for _, v := range []float64{rr, rt, rl} {
+				sum += v
+				n++
+				if v > worst {
+					worst = v
+				}
+			}
+			detail += fmt.Sprintf("\t\t// m%d pc%-6d R%5.1f%% X%5.1f%% L%5.1f%% U%5.1f%% C%5.1f%%\n", mesh, pc, rr*100, rt*100, rl*100, ru*100, rc*100)
+		}
+	}
+	fmt.Printf("\t\t// fit %s/%s: mean RE(R,X,L) %.1f%%, worst %.1f%%\n", lk, m, 100*sum/float64(n), 100*worst)
+	fmt.Print(detail)
+}
+
+func lockName(lk inpg.LockKind) string {
+	switch lk {
+	case inpg.LockTAS:
+		return "TAS"
+	case inpg.LockTTL:
+		return "TTL"
+	case inpg.LockABQL:
+		return "ABQL"
+	case inpg.LockMCS:
+		return "MCS"
+	case inpg.LockQSL:
+		return "QSL"
+	default:
+		return "CLH"
+	}
+}
+
+func mechName(m inpg.Mechanism) string {
+	switch m {
+	case inpg.Original:
+		return "Original"
+	case inpg.OCOR:
+		return "OCOR"
+	default:
+		if m == inpg.INPG {
+			return "INPG"
+		}
+		return "INPGOCOR"
+	}
+}

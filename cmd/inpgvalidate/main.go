@@ -1,5 +1,5 @@
-// Command inpgvalidate checks generated telemetry artifacts: run
-// manifests against the internal/manifest schema and exported
+// Command inpgvalidate checks generated telemetry artifacts: run and
+// estimate manifests against the internal/manifest schema and exported
 // .trace.json files against the Chrome trace-event structure checker.
 // CI runs it over everything a sweep produced; it exits nonzero on the
 // first invalid artifact.
@@ -27,13 +27,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: inpgvalidate <manifest.json|trace.json|dir>...")
 		os.Exit(2)
 	}
-	checked, failedRuns := 0, 0
+	checked, failedRuns, estimates := 0, 0, 0
 	for _, arg := range os.Args[1:] {
 		info, err := os.Stat(arg)
 		fatal(err)
 		if !info.IsDir() {
-			n, f := checkFile(arg)
-			checked, failedRuns = checked+n, failedRuns+f
+			n, f, e := checkFile(arg)
+			checked, failedRuns, estimates = checked+n, failedRuns+f, estimates+e
 			continue
 		}
 		entries, err := os.ReadDir(arg)
@@ -42,26 +42,32 @@ func main() {
 			if e.IsDir() {
 				continue
 			}
-			n, f := checkFile(filepath.Join(arg, e.Name()))
-			checked, failedRuns = checked+n, failedRuns+f
+			n, f, es := checkFile(filepath.Join(arg, e.Name()))
+			checked, failedRuns, estimates = checked+n, failedRuns+f, estimates+es
 		}
 	}
 	if checked == 0 {
 		fatal(fmt.Errorf("no manifests or traces found"))
 	}
 	// A failed-run manifest is a valid artifact — the record of a
-	// quarantined cell — so it counts toward validity but is reported.
+	// quarantined cell — and so is an estimate manifest — the record of
+	// an analytically pre-screened cell; both count toward validity but
+	// are reported.
+	extra := ""
 	if failedRuns > 0 {
-		fmt.Printf("inpgvalidate: %d artifacts valid (%d record failed runs)\n", checked, failedRuns)
-		return
+		extra += fmt.Sprintf(" (%d record failed runs)", failedRuns)
 	}
-	fmt.Printf("inpgvalidate: %d artifacts valid\n", checked)
+	if estimates > 0 {
+		extra += fmt.Sprintf(" (%d analytic estimates)", estimates)
+	}
+	fmt.Printf("inpgvalidate: %d artifacts valid%s\n", checked, extra)
 }
 
 // checkFile validates one artifact by name convention; unrecognized
 // files are skipped (directories hold figure CSVs too). The second
-// return counts manifests recording failed runs.
-func checkFile(path string) (int, int) {
+// return counts manifests recording failed runs, the third estimate
+// manifests (analytically pre-screened cells).
+func checkFile(path string) (int, int, int) {
 	base := filepath.Base(path)
 	switch {
 	case strings.HasPrefix(base, "manifest-") && strings.HasSuffix(base, ".json"):
@@ -75,10 +81,20 @@ func checkFile(path string) (int, int) {
 			}
 			fmt.Printf("ok %s (%s/%d, %s/%s) FAILED cause=%s attempt=%d%s\n",
 				path, m.Sweep, m.Index, m.Mechanism, m.Lock, m.Cause, m.Attempt, diag)
-			return 1, 1
+			return 1, 1, 0
 		}
 		fmt.Printf("ok %s (%s/%d, %s/%s)\n", path, m.Sweep, m.Index, m.Mechanism, m.Lock)
-		return 1, 0
+		return 1, 0, 0
+	case strings.HasPrefix(base, "estimate-") && strings.HasSuffix(base, ".json"):
+		m, err := manifest.ReadFile(path)
+		fatal(err)
+		if m.Kind != manifest.EstimateKind {
+			fatal(fmt.Errorf("%s: kind %q under an estimate filename, want %q", path, m.Kind, manifest.EstimateKind))
+		}
+		fmt.Printf("ok %s (%s/%d, %s/%s) ESTIMATE runtime=%.0f cs/kcyc=%.2f bounds=%d metrics\n",
+			path, m.Sweep, m.Index, m.Mechanism, m.Lock,
+			m.Estimate.Runtime, m.Estimate.CSPerKCycle, len(m.Estimate.Bounds))
+		return 1, 0, 1
 	case strings.HasSuffix(base, ".trace.json"):
 		data, err := os.ReadFile(path)
 		fatal(err)
@@ -86,9 +102,9 @@ func checkFile(path string) (int, int) {
 			fatal(fmt.Errorf("%s: %w", path, err))
 		}
 		fmt.Printf("ok %s\n", path)
-		return 1, 0
+		return 1, 0, 0
 	}
-	return 0, 0
+	return 0, 0, 0
 }
 
 func fatal(err error) {

@@ -48,6 +48,7 @@ import (
 	"inpg/internal/stats"
 	"inpg/internal/trace"
 	"math/rand"
+	"runtime"
 )
 
 // Mechanism selects the comparative case of the evaluation (Section 5.1).
@@ -572,6 +573,32 @@ func PrimaryLockAddr(cfg Config) uint64 {
 	return homes.AddrForHome(home, 0)
 }
 
+// AutoShardMinNodes is the mesh size below which AutoShards keeps the
+// classic single-threaded engine: on small meshes the per-cycle barrier
+// and staging overhead of the sharded tick pass exceeds the tick work it
+// parallelizes (BENCH_6/BENCH_7), so auto mode only shards meshes of at
+// least this many nodes (16×16 and up).
+const AutoShardMinNodes = 256
+
+// AutoShards resolves the shard-count auto mode (the CLIs' -shards 0):
+// one shard per available core, capped at the mesh height (row stripes
+// cannot be thinner than one row) and gated to 1 when the mesh is smaller
+// than AutoShardMinNodes. Sharding is bit-identical at every count, so
+// the choice only affects wall-clock time, never results.
+func AutoShards(meshWidth, meshHeight int) int {
+	if meshWidth*meshHeight < AutoShardMinNodes {
+		return 1
+	}
+	n := runtime.GOMAXPROCS(0)
+	if n > meshHeight {
+		n = meshHeight
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
 // defaultLockHome picks the paper's Figure 10 lock position, core (5,6),
 // when the mesh has it; otherwise the mesh center.
 func defaultLockHome(m noc.Mesh) noc.NodeID {
@@ -635,6 +662,12 @@ type Results struct {
 	// GetX requests stopped at big routers.
 	EarlyInvs uint64
 	Stopped   uint64
+
+	// FlitsSwitched is the total flit-switch operations across all routers
+	// — the network's aggregate switching activity. Divided by Runtime ×
+	// router count it is the mean link/crossbar utilization the analytic
+	// fast model (internal/analytic) estimates and validates against.
+	FlitsSwitched uint64
 
 	// Link-layer fault counters, all zero when fault injection is disabled:
 	// FaultsInjected flit transmissions were dropped or corrupted on links,
@@ -719,6 +752,7 @@ func (s *System) collect() *Results {
 	for id := 0; id < s.fab.Homes.Nodes; id++ {
 		rt := s.fab.Net.Router(noc.NodeID(id))
 		flits := rt.Stats.FlitsSwitched
+		r.FlitsSwitched += flits
 		if bigNodes[noc.NodeID(id)] {
 			act.BigFlits += flits
 		} else {

@@ -1,0 +1,416 @@
+// Package analytic is the queueing-theoretic fast model of the simulated
+// platform: closed-form (plus one small fixed-point recursion) estimates
+// of the quantities the cycle simulator measures — ROI runtime,
+// critical-section throughput, phase breakdown, mean packet latency and
+// link utilization — computed in microseconds instead of seconds.
+//
+// The model composes four classical pieces over the concrete platform
+// geometry:
+//
+//   - XY route lengths on the mesh: every estimate starts from the exact
+//     mean Manhattan distance of the traffic it concerns (threads → lock
+//     home for the lock protocol, uniform pairs for background traffic),
+//     times the router's 2-cycle per-hop pipeline.
+//   - A machine-repairman closed queueing network for the lock itself:
+//     N threads alternate between a "think" phase (parallel compute) and
+//     a single serialized server (the critical section plus the lock
+//     hand-off protocol). Mean value analysis (MVA) yields the lock
+//     throughput and per-acquire waiting time, smoothly interpolating
+//     between the serialized regime (runtime = totalCS × service period)
+//     and the parallel-limited regime (runtime = slowest thread's own
+//     program).
+//   - An M/G/1-style contention term for the links around the lock's
+//     home node: the hot-link utilization implied by the lock throughput
+//     inflates mean packet latency by the familiar u/(1-u) factor. Under
+//     OCOR the term is priority-aware: the nine remaining-times-of-retry
+//     classes see the non-preemptive head-of-line priority waits, so the
+//     model can quote the latency a nearly-exhausted spinner's request
+//     experiences separately from the aggregate mean.
+//   - A critical-section serialization term for lock throughput: the
+//     per-primitive hand-off period (how long the lock is unavailable
+//     per critical section, including the release/transfer coherence
+//     protocol) is the service time of the MVA server.
+//
+// Protocol constants that no queueing argument can produce — the TAS
+// invalidation-storm hand-off cost, MCS's pointer-chase transfer, QSL's
+// sleep tail — live in a per-(lock, mechanism) calibration table
+// (table.go) fitted once against the cycle simulator and re-validated
+// continuously: the validation suite (validate.go, wired into go test)
+// re-runs a lock × mechanism × contention grid through the real
+// simulator and fails when model drift exceeds the recorded error
+// bounds.
+//
+// The model deliberately ignores fault injection, multi-lock workloads
+// and barrier phases (see DESIGN.md §11 for where it breaks); estimates
+// for such configurations are still returned but carry no accuracy
+// claim.
+package analytic
+
+import (
+	"math"
+
+	"inpg"
+)
+
+// Platform constants mirrored from the simulator (internal/noc,
+// internal/lock). They are structural — changing them there without
+// updating here trips the validation suite.
+const (
+	// hopCycles is the router's per-hop pipeline latency (2-stage router,
+	// minimum 2 cycles per hop).
+	hopCycles = 2.0
+	// dataFlits and controlFlits are the two packet sizes.
+	dataFlits    = 8.0
+	controlFlits = 1.0
+	// spinPollCycles is a spin iteration's cost: the poll interval plus an
+	// L1 hit (lock.DefaultConfig SpinInterval 12 + 4).
+	spinPollCycles = 16.0
+	// defaultQSLRetries, defaultCtxSwitch, defaultWakeup mirror
+	// lock.DefaultConfig.
+	defaultQSLRetries = 128
+	defaultCtxSwitch  = 2500.0
+	defaultWakeup     = 1000.0
+	// ocorClasses is the number of OCOR priority levels.
+	ocorClasses = 9
+)
+
+// Estimate is the model's answer for one configuration: the same headline
+// quantities inpg.Results reports, as expectations rather than one seeded
+// sample, plus the model's internal operating point (service period,
+// per-acquire wait, hot-link load) for callers that want to reason about
+// *why* — the pre-screener keys its region selection on these.
+type Estimate struct {
+	// Runtime is the expected ROI finish time in cycles.
+	Runtime float64
+	// Phase totals across threads, in cycles (Results.Parallel etc.).
+	Parallel, COH, Sleep, CSE float64
+	// CSCompleted is the total critical sections (exact, not estimated).
+	CSCompleted int
+	// CSPerKCycle is the critical-section throughput per 1000 cycles.
+	CSPerKCycle float64
+	// NetMeanLatency is the expected mean end-to-end packet latency.
+	NetMeanLatency float64
+	// LockReqLatency is the expected latency of a lock-class request
+	// packet. Under OCOR it is the highest-priority class's latency from
+	// the non-preemptive priority queue; otherwise it equals the FIFO
+	// expectation at the same load.
+	LockReqLatency float64
+	// LinkUtilization is expected switched flits per router per cycle
+	// (Results.FlitsSwitched / (Runtime × routers)).
+	LinkUtilization float64
+
+	// MeanHopsHome is the mean XY distance from the competing threads to
+	// the lock home; MeanHopsUniform the mean distance of a uniform pair.
+	MeanHopsHome, MeanHopsUniform float64
+	// ServicePeriod is the effective serialized period per critical
+	// section (the MVA server's service time, cycles).
+	ServicePeriod float64
+	// WaitPerAcquire is the expected queueing delay per lock acquire
+	// beyond the uncontended protocol cost (cycles).
+	WaitPerAcquire float64
+	// HotLinkLoad is the estimated utilization of the most loaded link
+	// near the lock home, the M/G/1 term's u.
+	HotLinkLoad float64
+	// Contended reports which regime dominates the runtime estimate:
+	// true when the serialized lock chain (MVA) bound exceeds the
+	// parallel-limited bound.
+	Contended bool
+}
+
+// CSTime returns COH+Sleep+CSE, the quantity Figures 8b/11/14 are built
+// on (Results.CSTime).
+func (e Estimate) CSTime() float64 { return e.COH + e.Sleep + e.CSE }
+
+// For estimates one configuration. It is a pure function of cfg — no
+// randomness, no simulation — and costs microseconds: one MVA recursion
+// over the thread count plus constant work.
+func For(cfg inpg.Config) Estimate {
+	return CoefFor(cfg.Lock, cfg.Mechanism).Estimate(cfg)
+}
+
+// Estimate runs the model under an explicit calibration row — the
+// calibration fit and sensitivity studies use it; normal callers use For.
+func (c Coef) Estimate(cfg inpg.Config) Estimate {
+	w, h := cfg.MeshWidth, cfg.MeshHeight
+	if w <= 0 || h <= 0 {
+		return Estimate{}
+	}
+	nodes := w * h
+	threads := cfg.Threads
+	if threads == 0 {
+		threads = nodes
+	}
+	csPer := cfg.CSPerThread
+	if csPer <= 0 {
+		csPer = 1
+	}
+	totalCS := threads * csPer
+	p := fmean(cfg.ParallelCycles)
+	cs := fmean(cfg.CSCycles)
+	pj := float64(cfg.ParallelJitter)
+	cj := float64(cfg.CSJitter)
+
+	e := Estimate{CSCompleted: totalCS}
+	e.MeanHopsHome = meanHopsToHome(w, h, threads, homeNode(cfg))
+	e.MeanHopsUniform = meanHopsUniform(w, h)
+	rttHome := 2 * hopCycles * e.MeanHopsHome // request there + response back
+
+	// Per-acquire protocol costs from the calibration row, scaled by the
+	// home round trip the coefficients are structured on.
+	aUnc := c.AUncBase + c.AUncHop*rttHome
+	csePer := cs + c.ECseBase + c.ECseHop*rttHome
+	s := c.SBase + c.SHop*rttHome
+	if s < 1 {
+		s = 1
+	}
+	// Multiple independent locks divide the serialization: each lock
+	// serves ~threads/LockCount competitors. Coarse — the model's accuracy
+	// claim covers the single-hot-lock workloads of the paper.
+	if cfg.LockCount > 1 {
+		k := float64(cfg.LockCount)
+		if k > float64(threads) {
+			k = float64(threads)
+		}
+		s /= k
+	}
+
+	// Serialized bound via machine-repairman MVA: think time Z (parallel
+	// compute plus the uncontended share of the acquire), service
+	// interpolated between the uncontended lock occupancy SFloor×S (the
+	// lock is only truly held for the CS body and transfer; backoff gaps
+	// in the contended hand-off period don't block a lone acquirer) and
+	// the full hand-off period S at saturation. SFloor > 1 encodes the
+	// opposite: protocols whose hand-off degrades as spinner density
+	// falls. The contention level is the server's share of the cycle
+	// N·S/(Z+N·S): 1 when everyone queues, → 0 when think time dominates.
+	z := p + aUnc
+	ns := float64(threads) * s
+	load := ns / (z + ns)
+	floorS := c.SFloor
+	if floorS <= 0 {
+		floorS = 1 // uncalibrated row: no load dependence
+	}
+	sEff := s * (floorS + (1-floorS)*load)
+	if sEff < 1 {
+		sEff = 1
+	}
+	x, wMVA := mva(threads, z, sEff)
+	rSer := p + float64(totalCS)/x
+
+	// Waiting beyond the uncontended acquire: MVA's residence time minus
+	// the own-service share. Vanishes smoothly in the parallel-limited
+	// regime (queue length → 0 ⇒ W → S).
+	wc := wMVA - sEff
+	if wc < 0 {
+		wc = 0
+	}
+	e.WaitPerAcquire = wc
+
+	// Parallel-limited bound: every thread runs its own program including
+	// its per-acquire waits; the ROI ends when the slowest finishes. The
+	// slowest of N i.i.d. per-thread sums exceeds the mean by zMax
+	// standard deviations.
+	sigma := math.Sqrt(float64(csPer) * (sq(2*pj) + sq(2*cj)) / 12)
+	rUnc := float64(csPer)*(p+csePer+aUnc+c.FCoh*wc) + zMax(threads)*sigma
+
+	e.ServicePeriod = sEff
+	e.Contended = rSer > rUnc
+	e.Runtime = rSer
+	if !e.Contended {
+		e.Runtime = rUnc
+	}
+	e.CSPerKCycle = 1000 * float64(totalCS) / e.Runtime
+
+	// Phase totals. Parallel is exact in expectation; CSE is per-CS; the
+	// competition overhead is the uncontended acquire cost plus the
+	// accounting share FCoh of the queueing wait (threads that finish
+	// early stop waiting, so the share is below 1 for unfair locks).
+	e.Parallel = float64(totalCS) * p
+	e.CSE = float64(totalCS) * csePer
+	waitAgg := float64(totalCS) * (aUnc + c.FCoh*wc)
+
+	// QSL sleeps: a waiter that outlives its spin budget context-switches
+	// out. With an exponential tail on the per-acquire wait, the sleep
+	// probability is exp(-budget/wait); each episode costs two context
+	// switches plus the wakeup latency plus the calibrated tail share of
+	// the wait itself.
+	if cfg.Lock == inpg.LockQSL && wc > 1 {
+		retries := cfg.QSLRetries
+		if retries <= 0 {
+			retries = defaultQSLRetries
+		}
+		budget := float64(retries) * spinPollCycles
+		ctx := defaultCtxSwitch
+		if cfg.CtxSwitchCycles > 0 {
+			ctx = float64(cfg.CtxSwitchCycles)
+		}
+		wake := defaultWakeup
+		if cfg.WakeupCycles > 0 {
+			wake = float64(cfg.WakeupCycles)
+		}
+		pSleep := math.Exp(-budget / wc)
+		sleeps := float64(totalCS) * pSleep
+		sleep := sleeps * (2*ctx + wake + c.STail*wc)
+		if max := 0.95 * waitAgg; sleep > max {
+			sleep = max
+		}
+		e.Sleep = sleep
+	}
+	e.COH = waitAgg - e.Sleep
+
+	// Network load: each critical section moves a fixed protocol exchange
+	// (hop-scaled — longer routes switch more flits) plus polling traffic
+	// proportional to the time its acquirer spent waiting.
+	flitsPerCS := (c.FBase + c.FBaseHop*rttHome) + (c.FWait+c.FWaitHop*rttHome)*wc
+	if flitsPerCS < controlFlits {
+		flitsPerCS = controlFlits
+	}
+	e.LinkUtilization = float64(totalCS) * flitsPerCS / (e.Runtime * float64(nodes))
+
+	// Mean packet latency: geometric floor (pipeline depth × mean hops of
+	// the home/background traffic mix, plus the calibrated serialization
+	// and NI overhead) plus the M/G/1 contention term on the hot links
+	// around the lock home. u is the hot-link utilization implied by the
+	// achieved lock throughput.
+	hMix := (e.MeanHopsHome + e.MeanHopsUniform) / 2
+	floor := hopCycles*hMix + c.LSer
+	u := (float64(totalCS) / e.Runtime) * c.FHotHop * rttHome
+	if u > maxHotLoad {
+		u = maxHotLoad
+	}
+	e.HotLinkLoad = u
+	q := c.LGain * u / (1 - u)
+	e.NetMeanLatency = floor + q
+
+	// Lock-request latency: under OCOR the request travels in one of nine
+	// head-of-line priority classes; quote the top class's wait. Without
+	// priority arbitration lock requests queue FIFO like everyone else.
+	e.LockReqLatency = hopCycles*e.MeanHopsHome + c.LSer + q
+	if cfg.Mechanism == inpg.OCOR || cfg.Mechanism == inpg.INPGOCOR {
+		waits := PriorityWaits(u, ocorClasses)
+		// Relative to the FIFO wait at equal load: scale the calibrated
+		// contention term by the top class's advantage.
+		fifo := u / (1 - u)
+		if fifo > 0 {
+			e.LockReqLatency = hopCycles*e.MeanHopsHome + c.LSer + q*(waits[0]/fifo)
+		}
+	}
+	return e
+}
+
+// maxHotLoad caps the hot-link utilization fed to the u/(1-u) contention
+// term: the real network saturates (back-pressure throttles injection)
+// rather than diverging.
+const maxHotLoad = 0.96
+
+// mva runs exact mean value analysis for the single-server machine-
+// repairman network: n customers, think time z, service time s. Returns
+// the system throughput x (customers per cycle) and the mean residence
+// time w at the server (queueing + own service).
+func mva(n int, z, s float64) (x, w float64) {
+	if n <= 0 || s <= 0 {
+		return math.Inf(1), 0
+	}
+	q := 0.0
+	for k := 1; k <= n; k++ {
+		w = s * (1 + q)
+		x = float64(k) / (z + w)
+		q = x * w
+	}
+	return x, w
+}
+
+// PriorityWaits returns the per-class mean queueing delays of a
+// non-preemptive head-of-line priority M/G/1 queue at total utilization
+// u, split evenly across n classes (class 0 highest priority), in units
+// of the mean residual service time: W_k = u / ((1-σ_{k-1})(1-σ_k)) with
+// σ_k the cumulative utilization of classes 0..k. This is the OCOR
+// arbitration model: the nine remaining-times-of-retry levels are the
+// classes, and a nearly-exhausted spinner's request rides class 0.
+func PriorityWaits(u float64, n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	if u >= maxHotLoad {
+		u = maxHotLoad
+	}
+	waits := make([]float64, n)
+	per := u / float64(n)
+	prev := 0.0
+	for k := 0; k < n; k++ {
+		cur := prev + per
+		waits[k] = u / ((1 - prev) * (1 - cur))
+		prev = cur
+	}
+	return waits
+}
+
+// zMax approximates the expected maximum of n i.i.d. sums in units of
+// their standard deviation. The Gaussian order-statistic value is scaled
+// by a calibrated 0.92: per-thread programs are sums of a handful of
+// uniforms, whose tails run lighter than normal.
+func zMax(n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	p := 1 - 1/(2*float64(n))
+	return 0.92 * math.Sqrt2 * math.Erfinv(2*p-1)
+}
+
+// homeNode resolves the primary lock home the way inpg.New does.
+func homeNode(cfg inpg.Config) int {
+	if cfg.LockHomeNode >= 0 {
+		return cfg.LockHomeNode
+	}
+	if cfg.MeshWidth > 5 && cfg.MeshHeight > 6 {
+		return 6*cfg.MeshWidth + 5 // core (5,6)
+	}
+	return (cfg.MeshHeight/2)*cfg.MeshWidth + cfg.MeshWidth/2
+}
+
+// meanHopsToHome is the exact mean Manhattan distance from the first
+// `threads` node IDs to the home node.
+func meanHopsToHome(w, h, threads, home int) float64 {
+	if threads <= 0 {
+		return 0
+	}
+	hx, hy := home%w, home/w
+	sum := 0
+	for id := 0; id < threads; id++ {
+		x, y := id%w, id/w
+		sum += abs(x-hx) + abs(y-hy)
+	}
+	return float64(sum) / float64(threads)
+}
+
+// meanHopsUniform is the exact mean Manhattan distance between two
+// independently uniform nodes of the w×h mesh: E|X-X'| per axis is
+// (k²-1)/(3k) for k points.
+func meanHopsUniform(w, h int) float64 {
+	return axisMeanAbs(w) + axisMeanAbs(h)
+}
+
+func axisMeanAbs(k int) float64 {
+	if k <= 1 {
+		return 0
+	}
+	return (float64(k)*float64(k) - 1) / (3 * float64(k))
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func sq(v float64) float64 { return v * v }
+
+// fmean clamps a configured mean cycle count the way the simulator's
+// jitter closure does (minimum 1).
+func fmean(v int) float64 {
+	if v <= 0 {
+		return 1
+	}
+	return float64(v)
+}

@@ -1,0 +1,142 @@
+package analytic
+
+import (
+	"testing"
+
+	"inpg"
+)
+
+// driftSlack is the multiplicative headroom on every pinned bound: wide
+// enough to absorb a deliberate re-fit's rounding, tight enough that a
+// simulator change which actually moves the physics fails here.
+const driftSlack = 1.15
+
+// TestModelWithinRecordedBounds re-runs the full validation grid (a
+// different contention ladder and seed than calibration) and pins the
+// model's error against RecordedBounds per metric — plus the issue's
+// hard acceptance gate: ≤15% mean relative error on CS throughput and
+// mean packet latency.
+func TestModelWithinRecordedBounds(t *testing.T) {
+	grid := ValidationGrid()
+	if testing.Short() {
+		// Keep the race-enabled short run cheap: two locks spanning the
+		// behavior space (spin-storm TAS, sleep-capable QSL).
+		var sub []inpg.Config
+		for _, cfg := range grid {
+			if cfg.Lock == inpg.LockTAS || cfg.Lock == inpg.LockQSL {
+				sub = append(sub, cfg)
+			}
+		}
+		grid = sub
+	}
+	rep, err := Validate(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("validation report (%d cells):\n%s", len(rep.Cells), rep)
+
+	// The pinned bounds describe the FULL grid; subsetting in short mode
+	// shifts the means, so drift detection runs on full test runs only.
+	if !testing.Short() {
+		for _, m := range Metrics {
+			b, ok := RecordedBounds[m]
+			if !ok {
+				t.Fatalf("no recorded bound for metric %s", m)
+			}
+			if got := rep.Mean(m); got > b.Mean*driftSlack {
+				t.Errorf("%s mean relative error %.1f%% exceeds recorded %.1f%% (+%.0f%% slack): model drifted — refit the table or fix the regression",
+					m, 100*got, 100*b.Mean, 100*(driftSlack-1))
+			}
+			if got := rep.Max(m); got > b.Max*driftSlack {
+				t.Errorf("%s worst relative error %.1f%% exceeds recorded %.1f%% (+%.0f%% slack)",
+					m, 100*got, 100*b.Max, 100*(driftSlack-1))
+			}
+		}
+	}
+
+	// The acceptance gate is absolute, not drift-relative.
+	for _, m := range []Metric{MetricThroughput, MetricLatency} {
+		if got := rep.Mean(m); got > 0.15 {
+			t.Errorf("%s mean relative error %.1f%% exceeds the 15%% acceptance bound", m, 100*got)
+		}
+	}
+
+	// Per-lock pins: each lock kind's throughput estimate must stay
+	// usable on its own, not just on average.
+	for _, lk := range append(append([]inpg.LockKind{}, inpg.LockKinds...), inpg.LockCLH) {
+		if got := rep.LockMean(lk, MetricThroughput); got > 0.20 {
+			t.Errorf("%s cs_throughput mean relative error %.1f%% exceeds 20%%", lk, 100*got)
+		}
+	}
+}
+
+// TestEstimateDeterministic guards the pre-screener's byte-identity
+// property at the source: the model is a pure function of the config.
+func TestEstimateDeterministic(t *testing.T) {
+	cfg := inpg.DefaultConfig()
+	cfg.ParallelCycles = 1234
+	a, b := For(cfg), For(cfg)
+	if a != b {
+		t.Fatalf("estimates differ across calls: %+v vs %+v", a, b)
+	}
+}
+
+// TestEstimateShapes sanity-checks qualitative model behavior the
+// figures depend on: contention rises as parallel work shrinks, and
+// longer routes mean higher latency floors.
+func TestEstimateShapes(t *testing.T) {
+	hot := inpg.DefaultConfig()
+	hot.ParallelCycles, hot.ParallelJitter = 200, 66
+	cold := hot
+	cold.ParallelCycles, cold.ParallelJitter = 51200, 17066
+	eh, ec := For(hot), For(cold)
+	if !eh.Contended {
+		t.Errorf("pc=200 should be lock-serialized, got Contended=false")
+	}
+	if eh.CSPerKCycle <= ec.CSPerKCycle {
+		t.Errorf("throughput per kcycle should be higher under contention: hot %.3f vs cold %.3f", eh.CSPerKCycle, ec.CSPerKCycle)
+	}
+	if eh.WaitPerAcquire <= ec.WaitPerAcquire {
+		t.Errorf("wait per acquire should grow with contention: hot %.1f vs cold %.1f", eh.WaitPerAcquire, ec.WaitPerAcquire)
+	}
+
+	small := hot
+	small.MeshWidth, small.MeshHeight = 4, 4
+	if sm, lg := For(small), For(hot); sm.MeanHopsHome >= lg.MeanHopsHome {
+		t.Errorf("4x4 mean hops %.2f should be below 8x8 %.2f", sm.MeanHopsHome, lg.MeanHopsHome)
+	}
+}
+
+// TestPriorityWaits checks the non-preemptive priority queue model:
+// higher classes wait less, and the highest class beats the FIFO wait.
+func TestPriorityWaits(t *testing.T) {
+	u := 0.8
+	ws := PriorityWaits(u, 9)
+	if len(ws) != 9 {
+		t.Fatalf("want 9 classes, got %d", len(ws))
+	}
+	for i := 1; i < len(ws); i++ {
+		if ws[i] < ws[i-1] {
+			t.Errorf("class %d waits less than class %d: %.3f < %.3f", i, i-1, ws[i], ws[i-1])
+		}
+	}
+	if fifo := u / (1 - u); ws[0] >= fifo {
+		t.Errorf("top class wait %.3f should beat FIFO %.3f", ws[0], fifo)
+	}
+}
+
+// TestLockReqLatencyOCOR: under OCOR the lock-request class should see
+// lower latency than the aggregate mean at the same operating point.
+func TestLockReqLatencyOCOR(t *testing.T) {
+	cfg := inpg.DefaultConfig()
+	cfg.Lock = inpg.LockTAS
+	cfg.Mechanism = inpg.OCOR
+	cfg.ParallelCycles, cfg.ParallelJitter = 200, 66
+	e := For(cfg)
+	if e.HotLinkLoad <= 0 {
+		t.Skip("operating point has no modeled hot-link contention")
+	}
+	if e.LockReqLatency >= e.NetMeanLatency {
+		t.Errorf("OCOR top-class lock request latency %.2f should beat aggregate mean %.2f", e.LockReqLatency, e.NetMeanLatency)
+	}
+}

@@ -44,9 +44,13 @@ type Options struct {
 	// Shards splits each simulation's mesh into this many row stripes
 	// ticked by parallel shard workers (Config.Shards). Like Workers it is
 	// an execution strategy, not a simulation parameter: figure outputs are
-	// bit-identical for every value. 0 or 1 keeps the classic engine.
-	// Combining Shards > 1 with Workers > 1 oversubscribes the host —
-	// prefer sharding single long runs and worker-parallelism for sweeps.
+	// bit-identical for every value. 0 — the default — resolves per run
+	// via inpg.AutoShards (one shard per core, capped at the mesh height,
+	// and the classic engine on meshes under inpg.AutoShardMinNodes
+	// nodes, so the default 8×8 sweeps are unchanged); 1 forces the
+	// classic single-threaded engine. Combining Shards > 1 with
+	// Workers > 1 oversubscribes the host — prefer sharding single long
+	// runs and worker-parallelism for sweeps.
 	Shards int
 	// Compat runs every simulation with the engine's always-tick
 	// reference mode instead of activity-driven scheduling. Figure
@@ -180,7 +184,7 @@ func ConfigFor(p workload.Profile, mech inpg.Mechanism, lk inpg.LockKind, o Opti
 	cfg.ParallelCycles = p.ParallelCycles
 	cfg.ParallelJitter = p.ParallelCycles / 3
 	cfg.AlwaysTick = o.Compat
-	cfg.Shards = o.Shards
+	cfg.Shards = resolvedShards(o.Shards, cfg.MeshWidth, cfg.MeshHeight)
 	cfg.WatchdogWindow = o.WatchdogWindow
 	cfg.Metrics = o.Metrics
 	cfg.MetricsSampleEvery = o.MetricsSampleEvery
@@ -188,6 +192,15 @@ func ConfigFor(p workload.Profile, mech inpg.Mechanism, lk inpg.LockKind, o Opti
 		cfg.Fault = fault.AtRate(o.FaultRate, o.faultSeed())
 	}
 	return cfg
+}
+
+// resolvedShards maps the shard-count auto sentinel (0) onto
+// inpg.AutoShards for the run's mesh; explicit counts pass through.
+func resolvedShards(shards, meshWidth, meshHeight int) int {
+	if shards == 0 {
+		return inpg.AutoShards(meshWidth, meshHeight)
+	}
+	return shards
 }
 
 // faultSeed resolves the injector seed: explicit, or derived from Seed.
@@ -231,6 +244,16 @@ func Run(cfg inpg.Config) (*inpg.Results, error) {
 // reserved for infrastructure failures (an unreadable resume directory),
 // never for individual runs.
 func runAll(o Options, sweep string, cfgs []inpg.Config) ([]*inpg.Results, []Missing, error) {
+	return runAllSkip(o, sweep, cfgs, nil)
+}
+
+// runAllSkip is runAll with a caller-supplied skip predicate: cells
+// where skip(i) is true never execute and return nil results with no
+// Missing annotation. The analytic pre-screener uses it to dispatch
+// only a sweep's interesting cells while keeping submission indexes —
+// and thus manifest filenames and resume digests — identical to the
+// exhaustive grid.
+func runAllSkip(o Options, sweep string, cfgs []inpg.Config, skip func(int) bool) ([]*inpg.Results, []Missing, error) {
 	p := runner.Policy{
 		Workers:    o.Workers,
 		Retries:    o.Retries,
@@ -238,6 +261,7 @@ func runAll(o Options, sweep string, cfgs []inpg.Config) ([]*inpg.Results, []Mis
 		Observer:   o.observer(sweep),
 		PreRun:     o.chaosPreRun(),
 		PreAttempt: o.chaosPreAttempt(),
+		Skip:       skip,
 	}
 	var prefill []*inpg.Results
 	if o.Resume != "" {
@@ -254,7 +278,7 @@ func runAll(o Options, sweep string, cfgs []inpg.Config) ([]*inpg.Results, []Mis
 				prefill[i] = m.ToResults()
 			}
 		}
-		p.Skip = func(i int) bool { return prefill[i] != nil }
+		p.Skip = func(i int) bool { return prefill[i] != nil || (skip != nil && skip(i)) }
 	}
 	results, errs := runner.RunResilient(cfgs, p)
 	for i, r := range prefill {

@@ -83,7 +83,7 @@ type ShardStats struct {
 // shardRT is the engine's sharding runtime, nil on unsharded engines.
 type shardRT struct {
 	n       int
-	shardOf []int32  // ticker handle -> shard
+	shardOf []int32 // ticker handle -> shard
 	lists   [][]Handle
 	awake   []shardAwake
 	pass    []passState
