@@ -15,17 +15,52 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"inpg/internal/experiments"
+	"inpg/internal/fleet"
 	"inpg/internal/monitor"
 	"inpg/internal/report"
 	"inpg/internal/runner"
 )
+
+// logfStderr routes fleet lifecycle lines to stderr so stdout figure
+// tables stay byte-comparable across runs.
+func logfStderr(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+}
+
+// runWorker serves a coordinator until it orders shutdown. SIGTERM (or
+// the first interrupt) drains gracefully — the leased cells finish, new
+// ones are declined; a second signal kills the worker immediately, which
+// is exactly the failure the coordinator's lease reclaim recovers from.
+func runWorker(url string, slots, killAfter int, dropRate float64, seed int64) {
+	w := fleet.NewWorker(fleet.WorkerConfig{
+		Coordinator: url, Slots: slots,
+		ChaosKillAfter: killAfter, ChaosDropRate: dropRate, ChaosSeed: seed,
+		Logf: logfStderr,
+	})
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		w.Drain()
+		<-sig
+		fmt.Fprintln(os.Stderr, "[inpgbench: second signal, exiting without drain]")
+		os.Exit(1)
+	}()
+	fmt.Fprintf(os.Stderr, "[inpgbench: fleet worker %s serving %s, %d slots]\n", w.ID(), url, slots)
+	w.Run()
+	fmt.Fprintf(os.Stderr, "[inpgbench: fleet worker %s exiting after %d completions]\n", w.ID(), w.Completed())
+}
 
 // parseCells parses a comma-separated list of non-negative cell indexes;
 // a bad element is fatal (a silently ignored chaos cell would fake a pass).
@@ -73,8 +108,23 @@ func main() {
 		resume  = flag.String("resume", "", "resume from this manifest directory: skip cells whose manifest records a successful run with a matching config digest")
 		chPanic = flag.String("chaos-panic", "", "comma-separated sweep cell indexes to crash with an injected panic (chaos testing)")
 		chDead  = flag.String("chaos-deadline", "", "comma-separated sweep cell indexes to fail with an unmeetable wall-time budget (chaos testing)")
+
+		coordAddr  = flag.String("coordinator", "", "serve a fleet coordinator on this address (e.g. :9000): sweeps are leased to polling workers instead of the local pool")
+		workerURL  = flag.String("worker", "", "serve as a fleet worker for the coordinator at this URL (e.g. http://host:9000); with -coordinator, 'self' runs an in-process worker (local fleet mode)")
+		leaseTTL   = flag.Duration("lease-ttl", fleet.DefaultLeaseTTL, "fleet lease time-to-live: a worker must heartbeat within it or its cell is re-dispatched")
+		quarAfter  = flag.Int("quarantine-workers", fleet.DefaultQuarantineAfter, "quarantine a fleet cell after this many distinct workers fail its digest")
+		fleetGrace = flag.Duration("fleet-grace", 3*time.Second, "how long the coordinator keeps answering polls with a shutdown order after the last sweep, so workers exit cleanly")
+		chKill     = flag.Int("chaos-kill-after", 0, "worker: die holding the Nth acquired lease without completing it (chaos testing)")
+		chDrop     = flag.Float64("chaos-drop-rate", 0, "worker: probability a completion acknowledgement is deterministically dropped and the report resent (chaos testing)")
 	)
 	flag.Parse()
+
+	// Pure worker mode: no figures, no sweeps — serve the coordinator
+	// until it orders shutdown or SIGTERM drains us.
+	if *workerURL != "" && *coordAddr == "" {
+		runWorker(*workerURL, runner.Workers(*workers), *chKill, *chDrop, *seed)
+		return
+	}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -115,8 +165,9 @@ func main() {
 	if o.Resume != "" && o.ManifestDir == "" {
 		o.ManifestDir = o.Resume
 	}
+	var mon *monitor.Monitor
 	if *monAddr != "" {
-		mon := monitor.New()
+		mon = monitor.New()
 		addr, err := mon.Serve(*monAddr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "inpgbench: monitor:", err)
@@ -125,6 +176,48 @@ func main() {
 		fmt.Fprintf(os.Stderr, "[inpgbench: monitor on http://%s]\n", addr)
 		o.Observer = mon.Observer()
 		defer mon.Close()
+	}
+	if *coordAddr != "" {
+		coord := fleet.NewCoordinator(fleet.Config{
+			LeaseTTL: *leaseTTL, QuarantineAfter: *quarAfter,
+			ManifestDir: o.ManifestDir, Logf: logfStderr,
+		})
+		ln, err := net.Listen("tcp", *coordAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "inpgbench: coordinator:", err)
+			os.Exit(1)
+		}
+		srv := &http.Server{Handler: coord}
+		go srv.Serve(ln)
+		fmt.Fprintf(os.Stderr, "[inpgbench: fleet coordinator on http://%s]\n", ln.Addr())
+		o.Campaign = coord
+		if mon != nil {
+			mon.SetFleet(coord.Status)
+		}
+		// Registered after the monitor's Close so it runs first (LIFO):
+		// order the fleet down, give pollers a grace window to observe the
+		// shutdown answer and exit cleanly, then stop serving.
+		defer func() {
+			coord.Shutdown()
+			time.Sleep(*fleetGrace)
+			srv.Close()
+		}()
+		if *workerURL != "" {
+			// Local fleet mode: an in-process worker alongside the
+			// coordinator ("self" targets the bound address).
+			target := *workerURL
+			if target == "self" {
+				target = ln.Addr().String()
+			}
+			w := fleet.NewWorker(fleet.WorkerConfig{
+				Coordinator: target, Slots: runner.Workers(*workers),
+				ChaosKillAfter: *chKill, ChaosDropRate: *chDrop, ChaosSeed: *seed,
+				Logf: logfStderr,
+			})
+			fmt.Fprintf(os.Stderr, "[inpgbench: in-process fleet worker %s, %d slots]\n",
+				w.ID(), runner.Workers(*workers))
+			go w.Run()
+		}
 	}
 	// Stderr so the figure tables on stdout stay byte-comparable across runs.
 	fmt.Fprintf(os.Stderr, "[inpgbench: %d workers]\n", runner.Workers(*workers))

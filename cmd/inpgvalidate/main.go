@@ -1,11 +1,17 @@
 // Command inpgvalidate checks generated telemetry artifacts: run and
-// estimate manifests against the internal/manifest schema and exported
+// estimate manifests against the internal/manifest schema, fleet
+// campaign journals against the internal/fleet schema, and exported
 // .trace.json files against the Chrome trace-event structure checker.
 // CI runs it over everything a sweep produced; it exits nonzero on the
 // first invalid artifact.
 //
-// Each argument is either a manifest file, a .trace.json file, or a
-// directory scanned (non-recursively) for both.
+// Each argument is either a manifest file, a campaign journal, a
+// .trace.json file, or a directory scanned (non-recursively) for all
+// three. Across everything checked, two cross-file properties are
+// enforced: the same sweep cell (sweep/index) must never appear with two
+// different config digests — the corruption a fleet's
+// idempotency-by-digest is supposed to make impossible — and a campaign
+// journal's recorded digests must match the manifests on disk.
 //
 // Example:
 //
@@ -16,24 +22,41 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
+	"inpg/internal/fleet"
 	"inpg/internal/manifest"
 	"inpg/internal/metrics"
 )
 
+// cellRecord remembers where a sweep cell's digest was first seen, for
+// conflict reporting.
+type cellRecord struct {
+	digest string
+	path   string
+}
+
+// validator accumulates cross-file state over every checked artifact.
+type validator struct {
+	checked, failedRuns, estimates, journals int
+	// cells maps "sweep/index" to the first digest seen for that cell.
+	cells    map[string]cellRecord
+	journal  []*fleet.Journal
+	journalP []string
+}
+
 func main() {
 	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: inpgvalidate <manifest.json|trace.json|dir>...")
+		fmt.Fprintln(os.Stderr, "usage: inpgvalidate <manifest.json|campaign.json|trace.json|dir>...")
 		os.Exit(2)
 	}
-	checked, failedRuns, estimates := 0, 0, 0
+	v := &validator{cells: map[string]cellRecord{}}
 	for _, arg := range os.Args[1:] {
 		info, err := os.Stat(arg)
 		fatal(err)
 		if !info.IsDir() {
-			n, f, e := checkFile(arg)
-			checked, failedRuns, estimates = checked+n, failedRuns+f, estimates+e
+			v.checkFile(arg)
 			continue
 		}
 		entries, err := os.ReadDir(arg)
@@ -42,38 +65,67 @@ func main() {
 			if e.IsDir() {
 				continue
 			}
-			n, f, es := checkFile(filepath.Join(arg, e.Name()))
-			checked, failedRuns, estimates = checked+n, failedRuns+f, estimates+es
+			v.checkFile(filepath.Join(arg, e.Name()))
 		}
 	}
-	if checked == 0 {
-		fatal(fmt.Errorf("no manifests or traces found"))
+	if v.checked == 0 {
+		fatal(fmt.Errorf("no manifests, journals or traces found"))
 	}
+	v.crossCheckJournals()
 	// A failed-run manifest is a valid artifact — the record of a
 	// quarantined cell — and so is an estimate manifest — the record of
 	// an analytically pre-screened cell; both count toward validity but
 	// are reported.
 	extra := ""
-	if failedRuns > 0 {
-		extra += fmt.Sprintf(" (%d record failed runs)", failedRuns)
+	if v.failedRuns > 0 {
+		extra += fmt.Sprintf(" (%d record failed runs)", v.failedRuns)
 	}
-	if estimates > 0 {
-		extra += fmt.Sprintf(" (%d analytic estimates)", estimates)
+	if v.estimates > 0 {
+		extra += fmt.Sprintf(" (%d analytic estimates)", v.estimates)
 	}
-	fmt.Printf("inpgvalidate: %d artifacts valid%s\n", checked, extra)
+	if v.journals > 0 {
+		extra += fmt.Sprintf(" (%d fleet campaign journals)", v.journals)
+	}
+	fmt.Printf("inpgvalidate: %d artifacts valid%s\n", v.checked, extra)
+}
+
+// recordCell enforces the one-digest-per-cell invariant across every
+// artifact checked in this invocation.
+func (v *validator) recordCell(sweep string, index int, digest, path string) {
+	if digest == "" {
+		return
+	}
+	key := fmt.Sprintf("%s/%d", sweep, index)
+	if prev, ok := v.cells[key]; ok && prev.digest != digest {
+		fatal(fmt.Errorf("%s: cell %s digest %s conflicts with %s from %s",
+			path, key, digest, prev.digest, prev.path))
+	} else if !ok {
+		v.cells[key] = cellRecord{digest: digest, path: path}
+	}
+}
+
+// crossCheckJournals verifies every campaign journal's dispatched
+// digests against the manifests seen on disk.
+func (v *validator) crossCheckJournals() {
+	for i, j := range v.journal {
+		for idx, d := range j.Digests {
+			v.recordCell(j.Sweep, idx, d, v.journalP[i])
+		}
+	}
 }
 
 // checkFile validates one artifact by name convention; unrecognized
-// files are skipped (directories hold figure CSVs too). The second
-// return counts manifests recording failed runs, the third estimate
-// manifests (analytically pre-screened cells).
-func checkFile(path string) (int, int, int) {
+// files are skipped (directories hold figure CSVs too).
+func (v *validator) checkFile(path string) {
 	base := filepath.Base(path)
 	switch {
 	case strings.HasPrefix(base, "manifest-") && strings.HasSuffix(base, ".json"):
 		m, err := manifest.ReadFile(path)
 		fatal(err)
+		v.recordCell(m.Sweep, m.Index, m.ConfigDigest, path)
+		v.checked++
 		if m.Status == manifest.StatusFailed {
+			v.failedRuns++
 			diag := ""
 			if m.Diag != nil {
 				diag = fmt.Sprintf(", %d/%d threads unfinished at cycle %d",
@@ -81,30 +133,48 @@ func checkFile(path string) (int, int, int) {
 			}
 			fmt.Printf("ok %s (%s/%d, %s/%s) FAILED cause=%s attempt=%d%s\n",
 				path, m.Sweep, m.Index, m.Mechanism, m.Lock, m.Cause, m.Attempt, diag)
-			return 1, 1, 0
+			return
 		}
 		fmt.Printf("ok %s (%s/%d, %s/%s)\n", path, m.Sweep, m.Index, m.Mechanism, m.Lock)
-		return 1, 0, 0
 	case strings.HasPrefix(base, "estimate-") && strings.HasSuffix(base, ".json"):
 		m, err := manifest.ReadFile(path)
 		fatal(err)
 		if m.Kind != manifest.EstimateKind {
 			fatal(fmt.Errorf("%s: kind %q under an estimate filename, want %q", path, m.Kind, manifest.EstimateKind))
 		}
+		v.recordCell(m.Sweep, m.Index, m.ConfigDigest, path)
+		v.checked++
+		v.estimates++
 		fmt.Printf("ok %s (%s/%d, %s/%s) ESTIMATE runtime=%.0f cs/kcyc=%.2f bounds=%d metrics\n",
 			path, m.Sweep, m.Index, m.Mechanism, m.Lock,
 			m.Estimate.Runtime, m.Estimate.CSPerKCycle, len(m.Estimate.Bounds))
-		return 1, 0, 1
+	case strings.HasPrefix(base, "campaign-") && strings.HasSuffix(base, ".json"):
+		j, err := fleet.ReadJournal(path)
+		fatal(err)
+		v.checked++
+		v.journals++
+		v.journal = append(v.journal, j)
+		v.journalP = append(v.journalP, path)
+		fmt.Printf("ok %s (campaign %s, %d cells) reclaims=%d duplicates=%d late=%d conflicts=%d quarantined=%d skipped=%d\n",
+			path, j.Sweep, j.Cells, j.Reclaims, j.Duplicates, j.LateAccepts,
+			j.DigestConflicts, len(j.Quarantined), j.Skipped)
+		workers := make([]string, 0, len(j.WorkerCompletions))
+		for w := range j.WorkerCompletions {
+			workers = append(workers, w)
+		}
+		sort.Strings(workers)
+		for _, w := range workers {
+			fmt.Printf("   worker %-32s %d completed\n", w, j.WorkerCompletions[w])
+		}
 	case strings.HasSuffix(base, ".trace.json"):
 		data, err := os.ReadFile(path)
 		fatal(err)
 		if err := metrics.ValidateChromeTrace(data); err != nil {
 			fatal(fmt.Errorf("%s: %w", path, err))
 		}
+		v.checked++
 		fmt.Printf("ok %s\n", path)
-		return 1, 0, 0
 	}
-	return 0, 0, 0
 }
 
 func fatal(err error) {

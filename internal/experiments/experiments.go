@@ -106,6 +106,20 @@ type Options struct {
 	// the default — leave every sweep untouched.
 	ChaosPanicCells    []int
 	ChaosDeadlineCells []int
+	// Campaign, when set, dispatches every sweep through a distributed
+	// campaign runner — the fleet coordinator — instead of the local
+	// worker pool. The runner receives the same Policy a local sweep
+	// would (Skip/PreRun/Observer, so resume, pre-screening, manifests
+	// and the monitor work unchanged); Workers and PreAttempt apply only
+	// to local execution.
+	Campaign CampaignRunner
+}
+
+// CampaignRunner distributes one sweep across external executors under
+// runner.RunResilient's contract: index-aligned results and final typed
+// errors. internal/fleet's Coordinator implements it.
+type CampaignRunner interface {
+	RunCampaign(sweep string, cfgs []inpg.Config, p runner.Policy) ([]*inpg.Results, []*runner.RunError)
 }
 
 // chaosDeadline is the wall-time budget ChaosDeadlineCells impose: below
@@ -265,12 +279,12 @@ func runAllSkip(o Options, sweep string, cfgs []inpg.Config, skip func(int) bool
 	}
 	var prefill []*inpg.Results
 	if o.Resume != "" {
-		prior, skippedFiles, err := manifest.ScanDir(o.Resume, sweep)
+		prior, warnings, err := manifest.ScanDir(o.Resume, sweep)
 		if err != nil {
 			return nil, nil, fmt.Errorf("%s: resume scan %s: %w", sweep, o.Resume, err)
 		}
-		for _, path := range skippedFiles {
-			fmt.Fprintf(os.Stderr, "experiments: resume: ignoring invalid manifest %s\n", path)
+		for _, warning := range warnings {
+			fmt.Fprintf(os.Stderr, "experiments: resume: %s\n", warning)
 		}
 		prefill = make([]*inpg.Results, len(cfgs))
 		for i, cfg := range cfgs {
@@ -280,7 +294,13 @@ func runAllSkip(o Options, sweep string, cfgs []inpg.Config, skip func(int) bool
 		}
 		p.Skip = func(i int) bool { return prefill[i] != nil || (skip != nil && skip(i)) }
 	}
-	results, errs := runner.RunResilient(cfgs, p)
+	var results []*inpg.Results
+	var errs []*runner.RunError
+	if o.Campaign != nil {
+		results, errs = o.Campaign.RunCampaign(sweep, cfgs, p)
+	} else {
+		results, errs = runner.RunResilient(cfgs, p)
+	}
 	for i, r := range prefill {
 		if r != nil && results[i] == nil {
 			results[i] = r

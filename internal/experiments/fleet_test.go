@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"inpg/internal/fleet"
+	"inpg/internal/manifest"
+	"inpg/internal/runner"
+)
+
+// startFleet serves a coordinator over loopback HTTP with n real workers
+// and returns it with a teardown that shuts the fleet down cleanly.
+func startFleet(t *testing.T, cfg fleet.Config, n int, worker fleet.WorkerConfig) (*fleet.Coordinator, func()) {
+	t.Helper()
+	coord := fleet.NewCoordinator(cfg)
+	srv := httptest.NewServer(coord)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		w := worker
+		w.Coordinator = srv.URL
+		w.ID = string(rune('a'+i)) + "-worker"
+		w.PollInterval = 2 * time.Millisecond
+		w.Logf = t.Logf
+		wk := fleet.NewWorker(w)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			wk.Run()
+		}()
+	}
+	return coord, func() {
+		coord.Shutdown()
+		wg.Wait()
+		srv.Close()
+	}
+}
+
+// TestFleetFig2ByteIdentical is the PR's acceptance bar: a figure sweep
+// distributed over a coordinator and two workers renders byte-identically
+// to the single-process run.
+func TestFleetFig2ByteIdentical(t *testing.T) {
+	ref, err := Fig2(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	coord, stop := startFleet(t, fleet.Config{LeaseTTL: 10 * time.Second}, 2, fleet.WorkerConfig{})
+	defer stop()
+	o := tiny()
+	o.Campaign = coord
+	got, err := Fig2(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Render() != ref.Render() {
+		t.Fatalf("fleet Fig2 differs from single-process run:\n%s\nvs\n%s", got.Render(), ref.Render())
+	}
+}
+
+// TestFleetChaosKillByteIdentical kills one worker mid-lease and demands
+// the sweep still complete — through lease reclaim onto the survivor —
+// with figure bytes unchanged, plus at least one reclaim on the books.
+func TestFleetChaosKillByteIdentical(t *testing.T) {
+	ref, err := Fig2(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	coord := fleet.NewCoordinator(fleet.Config{LeaseTTL: 300 * time.Millisecond, Logf: t.Logf})
+	srv := httptest.NewServer(coord)
+	defer srv.Close()
+
+	// The victim dies holding its second lease; its heartbeats stop and
+	// the lease must be reclaimed for the sweep to finish.
+	killed := make(chan struct{})
+	victim := fleet.NewWorker(fleet.WorkerConfig{Coordinator: srv.URL, ID: "victim",
+		PollInterval: 2 * time.Millisecond, ChaosKillAfter: 2,
+		Exit: func(int) { close(killed) }, Logf: t.Logf})
+	survivor := fleet.NewWorker(fleet.WorkerConfig{Coordinator: srv.URL, ID: "survivor",
+		PollInterval: 2 * time.Millisecond, Logf: t.Logf})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); victim.Run() }()
+	go func() { defer wg.Done(); survivor.Run() }()
+
+	o := tiny()
+	o.Campaign = coord
+	got, err := Fig2(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-killed:
+	default:
+		t.Fatal("chaos kill never fired")
+	}
+	if st := coord.Status(); st.Reclaims < 1 {
+		t.Fatalf("reclaims = %d, want >= 1 (the victim's abandoned lease)", st.Reclaims)
+	}
+	if got.Render() != ref.Render() {
+		t.Fatalf("chaos-ridden fleet Fig2 differs from single-process run:\n%s\nvs\n%s",
+			got.Render(), ref.Render())
+	}
+	coord.Shutdown()
+	wg.Wait()
+}
+
+// TestFleetManifestsAndResume: a fleet campaign writes the same per-run
+// manifests a local sweep does (via the shared observer plumbing) plus a
+// campaign journal, and a local -resume run promotes the fleet's
+// manifest directory without re-executing anything.
+func TestFleetManifestsAndResume(t *testing.T) {
+	dir := t.TempDir()
+	coord, stop := startFleet(t, fleet.Config{LeaseTTL: 10 * time.Second, ManifestDir: dir}, 2, fleet.WorkerConfig{})
+	o := tiny()
+	o.Campaign = coord
+	o.ManifestDir = dir
+	ref, err := Fig2(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop()
+
+	prior, warnings, err := manifest.ScanDir(dir, "fig2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warnings) != 0 {
+		t.Fatalf("scan warnings: %v", warnings)
+	}
+	if len(prior) == 0 {
+		t.Fatal("fleet campaign wrote no manifests")
+	}
+	j, err := fleet.ReadJournal(dir + "/" + fleet.JournalFilename("fig2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Cells != len(prior) {
+		t.Fatalf("journal cells = %d, manifests = %d", j.Cells, len(prior))
+	}
+	total := 0
+	for _, n := range j.WorkerCompletions {
+		total += n
+	}
+	if total != j.Cells {
+		t.Fatalf("worker completions %v, want %d total", j.WorkerCompletions, j.Cells)
+	}
+
+	// Resume locally from the fleet's directory: every cell is a skip.
+	var mu sync.Mutex
+	claimed := 0
+	o2 := tiny()
+	o2.Resume = dir
+	o2.ManifestDir = dir
+	o2.Observer = func(out runner.Outcome) {
+		if !out.Done {
+			mu.Lock()
+			claimed++
+			mu.Unlock()
+		}
+	}
+	got, err := Fig2(o2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if claimed != 0 {
+		t.Fatalf("resume from fleet manifests re-executed %d cells, want 0", claimed)
+	}
+	if got.Render() != ref.Render() {
+		t.Fatalf("resumed figure differs from fleet run")
+	}
+}

@@ -1,0 +1,651 @@
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"inpg"
+	"inpg/internal/runner"
+)
+
+// Coordinator defaults.
+const (
+	// DefaultLeaseTTL is how long a granted lease lives without a
+	// heartbeat: long enough that an ordinary heartbeat cadence (TTL/3)
+	// survives scheduling hiccups, short enough that a killed worker's
+	// cells are re-dispatched within seconds.
+	DefaultLeaseTTL = 10 * time.Second
+	// DefaultQuarantineAfter is how many distinct workers must fail the
+	// same digest before the coordinator quarantines the cell instead of
+	// re-dispatching it: two independent machines failing the same
+	// configuration points at the cell, not the host.
+	DefaultQuarantineAfter = 2
+)
+
+// Config tunes a Coordinator. The zero value selects every default.
+type Config struct {
+	// LeaseTTL is the lease time-to-live (DefaultLeaseTTL when 0).
+	LeaseTTL time.Duration
+	// QuarantineAfter quarantines a cell once this many distinct workers
+	// have failed its digest (DefaultQuarantineAfter when 0). As a
+	// backstop against a single-worker fleet bouncing one bad cell
+	// forever, a cell is also quarantined after 2×QuarantineAfter total
+	// failures regardless of how many workers produced them.
+	QuarantineAfter int
+	// ManifestDir, when set, receives the campaign journal
+	// (campaign-<sweep>.json) at the end of every campaign. Per-run
+	// manifests are written by the same observer plumbing local sweeps
+	// use, not by the coordinator itself.
+	ManifestDir string
+	// Logf, when set, receives one summary line per campaign and
+	// infrastructure warnings. Nil discards them.
+	Logf func(format string, args ...any)
+	// Now overrides the clock (tests); nil selects time.Now.
+	Now func() time.Time
+}
+
+type cellState int
+
+const (
+	cellPending cellState = iota
+	cellLeased
+	cellDone
+)
+
+// cell is one sweep configuration's dispatch state.
+type cell struct {
+	index      int
+	cfg        inpg.Config
+	digest     string
+	state      cellState
+	leaseID    string // current lease, "" when pending/done
+	dispatches int
+
+	res  *inpg.Results
+	err  *runner.RunError
+	wall float64
+
+	failedBy  map[string]bool // distinct workers that reported failure
+	failCount int
+}
+
+// lease is one outstanding grant.
+type lease struct {
+	id      string
+	index   int
+	worker  string
+	expires time.Time
+}
+
+// workerInfo is the coordinator's view of one worker.
+type workerInfo struct {
+	id        string
+	num       int
+	lastSeen  time.Time
+	completed int
+	failed    int
+}
+
+// campaign is one sweep's dispatch ledger.
+type campaign struct {
+	sweep      string
+	cells      []*cell
+	queue      []int // pending cell indexes, FIFO
+	remaining  int
+	retries    int
+	runTimeout time.Duration
+	observer   runner.Observer
+	done       chan struct{}
+
+	reclaims, duplicates, lateAccepts, conflicts int
+	quarantined                                  []int
+	skipped                                      int
+	workerCompleted                              map[string]int
+}
+
+// Coordinator hands out sweep cells as leases over HTTP and folds worker
+// completions back into index-aligned results. It implements
+// http.Handler (mount at the server root) and the experiments package's
+// CampaignRunner interface (RunCampaign).
+type Coordinator struct {
+	cfg Config
+
+	mu       sync.Mutex
+	camp     *campaign
+	leases   map[string]*lease
+	workers  map[string]*workerInfo
+	leaseSeq int
+	shutdown bool
+
+	// Fleet-lifetime counters for the dashboard (campaign-scoped copies
+	// live on the campaign for the journal).
+	totReclaims, totDuplicates, totLate, totQuarantined, totConflicts int
+}
+
+// NewCoordinator builds a coordinator ready to serve workers; campaigns
+// are started with RunCampaign.
+func NewCoordinator(cfg Config) *Coordinator {
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = DefaultLeaseTTL
+	}
+	if cfg.QuarantineAfter <= 0 {
+		cfg.QuarantineAfter = DefaultQuarantineAfter
+	}
+	return &Coordinator{
+		cfg:     cfg,
+		leases:  map[string]*lease{},
+		workers: map[string]*workerInfo{},
+	}
+}
+
+func (c *Coordinator) now() time.Time {
+	if c.cfg.Now != nil {
+		return c.cfg.Now()
+	}
+	return time.Now()
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+// Shutdown orders the fleet down: subsequent lease polls answer
+// Shutdown, on which workers exit their serve loops. It does not abort
+// an active campaign — call it once the last campaign has returned.
+func (c *Coordinator) Shutdown() {
+	c.mu.Lock()
+	c.shutdown = true
+	c.mu.Unlock()
+}
+
+// RunCampaign distributes one sweep across the fleet and blocks until
+// every cell is resolved. It mirrors runner.RunResilient's contract: the
+// returned slices are index-aligned with cfgs, results[i] is non-nil
+// exactly when the cell succeeded (skipped cells stay nil for the caller
+// to prefill), errs[i] is the final typed failure of a quarantined cell.
+// Policy semantics carried over: Skip elides cells (one StatusSkipped
+// outcome each), PreRun maps stored configurations before dispatch,
+// Retries/RunTimeout ship to workers as the per-lease attempt policy,
+// and Observer sees claim and completion outcomes exactly as local
+// sweeps do — which is how manifest emission and the live monitor work
+// unchanged. PreAttempt cannot cross the wire and is ignored;
+// worker-side chaos uses the worker's own chaos flags.
+//
+// Dispatch is at-least-once: there is no campaign-wide deadline, and a
+// cell is re-dispatched until some worker completes it or enough
+// distinct workers fail it to quarantine. A fleet with no live workers
+// therefore blocks until one connects.
+func (c *Coordinator) RunCampaign(sweep string, cfgs []inpg.Config, p runner.Policy) ([]*inpg.Results, []*runner.RunError) {
+	camp := &campaign{
+		sweep:           sweep,
+		retries:         p.Retries,
+		runTimeout:      p.RunTimeout,
+		observer:        p.Observer,
+		done:            make(chan struct{}),
+		workerCompleted: map[string]int{},
+	}
+	var skippedOutcomes []runner.Outcome
+	for i, cfg := range cfgs {
+		if p.PreRun != nil {
+			cfg = p.PreRun(i, cfg)
+		}
+		cl := &cell{index: i, cfg: cfg, digest: cfg.Digest(), failedBy: map[string]bool{}}
+		if p.Skip != nil && p.Skip(i) {
+			cl.state = cellDone
+			camp.skipped++
+			skippedOutcomes = append(skippedOutcomes, runner.Outcome{
+				Index: i, Done: true, Status: runner.StatusSkipped, Cfg: cfg})
+		} else {
+			camp.queue = append(camp.queue, i)
+			camp.remaining++
+		}
+		camp.cells = append(camp.cells, cl)
+	}
+
+	// Captured before the campaign is published: once c.camp is set,
+	// handlers mutate remaining under mu.
+	hasWork := camp.remaining > 0
+
+	c.mu.Lock()
+	if c.camp != nil {
+		c.mu.Unlock()
+		panic("fleet: RunCampaign while another campaign is active")
+	}
+	c.camp = camp
+	c.mu.Unlock()
+
+	if p.Observer != nil {
+		for _, o := range skippedOutcomes {
+			p.Observer(o)
+		}
+	}
+
+	if hasWork {
+		stop := make(chan struct{})
+		go c.reclaimLoop(stop)
+		<-camp.done
+		close(stop)
+	}
+
+	c.mu.Lock()
+	c.camp = nil
+	// Leases are campaign-scoped: whatever is still outstanding belongs
+	// to workers whose completions will now be answered as duplicates.
+	c.leases = map[string]*lease{}
+	workerCount := len(camp.workerCompleted)
+	c.mu.Unlock()
+
+	c.logf("[fleet: %s done: cells=%d skipped=%d workers=%d reclaimed=%d quarantined=%d duplicates=%d late=%d conflicts=%d]",
+		sweep, len(camp.cells), camp.skipped, workerCount, camp.reclaims,
+		len(camp.quarantined), camp.duplicates, camp.lateAccepts, camp.conflicts)
+
+	if c.cfg.ManifestDir != "" {
+		if _, err := WriteJournal(c.cfg.ManifestDir, c.journal(camp)); err != nil {
+			c.logf("[fleet: %s: journal write failed: %v]", sweep, err)
+		}
+	}
+
+	results := make([]*inpg.Results, len(cfgs))
+	errs := make([]*runner.RunError, len(cfgs))
+	for i, cl := range camp.cells {
+		results[i], errs[i] = cl.res, cl.err
+	}
+	return results, errs
+}
+
+// journal assembles the campaign's durable account.
+func (c *Coordinator) journal(camp *campaign) *Journal {
+	j := &Journal{
+		SchemaVersion:     JournalSchemaVersion,
+		Kind:              JournalKind,
+		Sweep:             camp.sweep,
+		Cells:             len(camp.cells),
+		Digests:           make(map[int]string, len(camp.cells)),
+		WorkerCompletions: camp.workerCompleted,
+		Reclaims:          camp.reclaims,
+		Duplicates:        camp.duplicates,
+		LateAccepts:       camp.lateAccepts,
+		DigestConflicts:   camp.conflicts,
+		Quarantined:       camp.quarantined,
+		Skipped:           camp.skipped,
+	}
+	for _, cl := range camp.cells {
+		j.Digests[cl.index] = cl.digest
+	}
+	return j
+}
+
+// reclaimLoop periodically sweeps expired leases while a campaign runs.
+func (c *Coordinator) reclaimLoop(stop chan struct{}) {
+	interval := c.cfg.LeaseTTL / 4
+	if interval < 5*time.Millisecond {
+		interval = 5 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			c.reclaimExpired()
+		}
+	}
+}
+
+// reclaimExpired re-queues cells whose lease deadline passed and emits
+// the matching observer outcomes.
+func (c *Coordinator) reclaimExpired() {
+	c.mu.Lock()
+	now := c.now()
+	var emit []runner.Outcome
+	var obs runner.Observer
+	for id, l := range c.leases {
+		if now.Before(l.expires) {
+			continue
+		}
+		if o, ok := c.reclaimLeaseLocked(l); ok {
+			emit = append(emit, o)
+		}
+		delete(c.leases, id)
+	}
+	if c.camp != nil {
+		obs = c.camp.observer
+	}
+	c.mu.Unlock()
+	if obs != nil {
+		for _, o := range emit {
+			obs(o)
+		}
+	}
+}
+
+// reclaimLeaseLocked returns an expired lease's cell to the pending
+// queue (when the lease still owns an open cell) and returns the
+// StatusRetrying outcome to emit. The caller deletes the lease and holds
+// mu.
+func (c *Coordinator) reclaimLeaseLocked(l *lease) (runner.Outcome, bool) {
+	camp := c.camp
+	if camp == nil || l.index >= len(camp.cells) {
+		return runner.Outcome{}, false
+	}
+	cl := camp.cells[l.index]
+	if cl.state != cellLeased || cl.leaseID != l.id {
+		// The cell was resolved (or re-leased) while this lease aged out;
+		// nothing to reclaim.
+		return runner.Outcome{}, false
+	}
+	cl.state = cellPending
+	cl.leaseID = ""
+	camp.queue = append(camp.queue, l.index)
+	camp.reclaims++
+	c.totReclaims++
+	return runner.Outcome{
+		Index: l.index, Worker: c.workerNumLocked(l.worker), Done: true,
+		Status: runner.StatusRetrying, Attempt: cl.dispatches - 1, Cfg: cl.cfg,
+		Err: &runner.RunError{
+			Index: l.index, Attempt: cl.dispatches - 1, Cause: runner.CauseTimeout,
+			Digest: cl.digest,
+			Err:    fmt.Errorf("fleet: lease %s expired on worker %s", l.id, l.worker),
+		},
+	}, true
+}
+
+// touchWorker records a worker contact and returns its info. Caller
+// holds mu.
+func (c *Coordinator) touchWorkerLocked(id string) *workerInfo {
+	w := c.workers[id]
+	if w == nil {
+		w = &workerInfo{id: id, num: len(c.workers)}
+		c.workers[id] = w
+	}
+	w.lastSeen = c.now()
+	return w
+}
+
+// workerNumLocked maps a worker ID to its small integer for
+// runner.Outcome.Worker. Caller holds mu.
+func (c *Coordinator) workerNumLocked(id string) int {
+	if w := c.workers[id]; w != nil {
+		return w.num
+	}
+	return 0
+}
+
+// ServeHTTP demultiplexes the fleet endpoints.
+func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case PathLease:
+		c.handleLease(w, r)
+	case PathHeartbeat:
+		c.handleHeartbeat(w, r)
+	case PathComplete:
+		c.handleComplete(w, r)
+	case PathStatus:
+		writeJSON(w, c.Status())
+	case PathHealthz:
+		writeJSON(w, map[string]string{"status": "ok"})
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+// handleLease answers a worker poll: reclaim lazily, then grant the next
+// pending cell, report idle, or order shutdown.
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Worker == "" {
+		http.Error(w, "bad lease request", http.StatusBadRequest)
+		return
+	}
+	c.reclaimExpired()
+
+	c.mu.Lock()
+	wi := c.touchWorkerLocked(req.Worker)
+	var resp LeaseResponse
+	var claim *runner.Outcome
+	var obs runner.Observer
+	switch {
+	case c.shutdown:
+		resp.Shutdown = true
+	case c.camp == nil:
+		// idle: no campaign active
+	default:
+		camp := c.camp
+		obs = camp.observer
+		for len(camp.queue) > 0 {
+			idx := camp.queue[0]
+			camp.queue = camp.queue[1:]
+			cl := camp.cells[idx]
+			if cl.state != cellPending {
+				// Resolved while queued (a late completion landed); skip.
+				continue
+			}
+			c.leaseSeq++
+			id := fmt.Sprintf("%s-%04d-%d", camp.sweep, idx, c.leaseSeq)
+			cl.state = cellLeased
+			cl.leaseID = id
+			cl.dispatches++
+			c.leases[id] = &lease{id: id, index: idx, worker: req.Worker,
+				expires: c.now().Add(c.cfg.LeaseTTL)}
+			resp.Lease = &Lease{
+				ID: id, Sweep: camp.sweep, Index: idx, Digest: cl.digest,
+				Config: cl.cfg, TTLMillis: c.cfg.LeaseTTL.Milliseconds(),
+				Retries: camp.retries, RunTimeoutNanos: int64(camp.runTimeout),
+			}
+			claim = &runner.Outcome{Index: idx, Worker: wi.num,
+				Status: runner.StatusRunning, Attempt: cl.dispatches - 1, Cfg: cl.cfg}
+			break
+		}
+	}
+	c.mu.Unlock()
+
+	if claim != nil && obs != nil {
+		obs(*claim)
+	}
+	writeJSON(w, resp)
+}
+
+// handleHeartbeat extends a live lease. A heartbeat arriving after the
+// deadline — even before the periodic reclaimer noticed — is too late:
+// the lease is reclaimed on the spot and the worker told it is gone, so
+// expiry is deterministic rather than racing the sweep interval.
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad heartbeat", http.StatusBadRequest)
+		return
+	}
+	c.mu.Lock()
+	c.touchWorkerLocked(req.Worker)
+	var emit *runner.Outcome
+	var obs runner.Observer
+	resp := HeartbeatResponse{}
+	l := c.leases[req.LeaseID]
+	switch {
+	case l == nil:
+		resp.Gone = true
+	case c.now().Before(l.expires):
+		l.expires = c.now().Add(c.cfg.LeaseTTL)
+		resp.OK = true
+	default:
+		if o, ok := c.reclaimLeaseLocked(l); ok {
+			emit = &o
+		}
+		delete(c.leases, req.LeaseID)
+		resp.Gone = true
+	}
+	if c.camp != nil {
+		obs = c.camp.observer
+	}
+	c.mu.Unlock()
+	if emit != nil && obs != nil {
+		obs(*emit)
+	}
+	writeJSON(w, resp)
+}
+
+// handleComplete folds a worker's completion into the campaign:
+// first write wins per cell, duplicates are dropped and counted, and a
+// digest mismatch is rejected outright.
+func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var rep CompletionReport
+	if err := json.NewDecoder(r.Body).Decode(&rep); err != nil || rep.Worker == "" {
+		http.Error(w, "bad completion", http.StatusBadRequest)
+		return
+	}
+	c.mu.Lock()
+	wi := c.touchWorkerLocked(rep.Worker)
+	camp := c.camp
+	if camp == nil || camp.sweep != rep.Sweep || rep.Index < 0 || rep.Index >= len(camp.cells) {
+		// A straggler from a finished campaign: its cell was resolved (or
+		// never existed); drop as a duplicate so the worker stops.
+		c.totDuplicates++
+		c.mu.Unlock()
+		writeJSON(w, CompletionResponse{Duplicate: true})
+		return
+	}
+	cl := camp.cells[rep.Index]
+	if rep.Digest != cl.digest {
+		camp.conflicts++
+		c.totConflicts++
+		c.mu.Unlock()
+		c.logf("[fleet: %s/%d: rejected completion from %s: digest %s, want %s]",
+			rep.Sweep, rep.Index, rep.Worker, rep.Digest, cl.digest)
+		http.Error(w, "digest mismatch", http.StatusConflict)
+		return
+	}
+	l, hadLease := c.leases[rep.LeaseID]
+	if hadLease {
+		delete(c.leases, rep.LeaseID)
+	}
+
+	obs := camp.observer
+	var emit []runner.Outcome
+	resp := CompletionResponse{}
+
+	if cl.state == cellDone {
+		// Duplicate: the cell was already resolved (reclaimed and re-run
+		// elsewhere, or a resent report). First write won; drop this one.
+		camp.duplicates++
+		c.totDuplicates++
+		resp.Duplicate = true
+		if hadLease && l.index == rep.Index {
+			// The dropped worker held a live claim; balance it for
+			// observers with the discarded-completion status.
+			emit = append(emit, runner.Outcome{Index: rep.Index, Worker: wi.num,
+				Done: true, Status: runner.StatusAbandoned, Cfg: cl.cfg,
+				WallSeconds: rep.WallSeconds})
+		}
+	} else {
+		resp.Accepted = true
+		if !hadLease || cl.leaseID != rep.LeaseID {
+			// The worker outlived its reclaimed lease; its work is still
+			// valid (digest matched) and it got here first.
+			camp.lateAccepts++
+			c.totLate++
+		}
+		cl.leaseID = ""
+		if rep.OK {
+			cl.state = cellDone
+			cl.res = rep.Res
+			cl.wall = rep.WallSeconds
+			camp.workerCompleted[rep.Worker]++
+			wi.completed++
+			camp.remaining--
+			emit = append(emit, runner.Outcome{Index: rep.Index, Worker: wi.num,
+				Done: true, Status: runner.StatusOK, Attempt: rep.Attempt,
+				Cfg: cl.cfg, Res: rep.Res, Snapshot: rep.Snapshot,
+				WallSeconds: rep.WallSeconds})
+		} else {
+			cl.failCount++
+			cl.failedBy[rep.Worker] = true
+			wi.failed++
+			rerr := &runner.RunError{Index: rep.Index, Attempt: rep.Attempt,
+				Cause: runner.Cause(rep.Cause), Digest: cl.digest,
+				Err: errors.New(rep.Error)}
+			if len(cl.failedBy) >= c.cfg.QuarantineAfter ||
+				cl.failCount >= 2*c.cfg.QuarantineAfter {
+				cl.state = cellDone
+				cl.err = rerr
+				camp.quarantined = append(camp.quarantined, rep.Index)
+				c.totQuarantined++
+				camp.remaining--
+				emit = append(emit, runner.Outcome{Index: rep.Index, Worker: wi.num,
+					Done: true, Status: runner.StatusQuarantined, Attempt: rep.Attempt,
+					Cfg: cl.cfg, Err: rerr, WallSeconds: rep.WallSeconds})
+			} else {
+				cl.state = cellPending
+				camp.queue = append(camp.queue, rep.Index)
+				emit = append(emit, runner.Outcome{Index: rep.Index, Worker: wi.num,
+					Done: true, Status: runner.StatusRetrying, Attempt: rep.Attempt,
+					Cfg: cl.cfg, Err: rerr, WallSeconds: rep.WallSeconds})
+			}
+		}
+		if camp.remaining == 0 {
+			defer close(camp.done)
+		}
+	}
+	c.mu.Unlock()
+
+	if obs != nil {
+		for _, o := range emit {
+			obs(o)
+		}
+	}
+	writeJSON(w, resp)
+}
+
+// Status snapshots the coordinator's public state.
+func (c *Coordinator) Status() Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := Status{
+		Shutdown:          c.shutdown,
+		LeasesOutstanding: len(c.leases),
+		Reclaims:          c.totReclaims,
+		Duplicates:        c.totDuplicates,
+		LateAccepts:       c.totLate,
+		Quarantined:       c.totQuarantined,
+		DigestConflicts:   c.totConflicts,
+	}
+	if c.camp != nil {
+		st.Sweep = c.camp.sweep
+		st.Cells = len(c.camp.cells)
+		done := 0
+		for _, cl := range c.camp.cells {
+			if cl.state == cellDone {
+				done++
+			}
+		}
+		st.Completed = done
+	}
+	held := map[string]int{}
+	for _, l := range c.leases {
+		held[l.worker]++
+	}
+	now := c.now()
+	for _, wi := range c.workers {
+		st.Workers = append(st.Workers, WorkerStatus{
+			ID: wi.id, Num: wi.num,
+			LastSeenSeconds: now.Sub(wi.lastSeen).Seconds(),
+			Completed:       wi.completed, Failed: wi.failed,
+			Leases: held[wi.id],
+		})
+	}
+	sort.Slice(st.Workers, func(i, j int) bool { return st.Workers[i].Num < st.Workers[j].Num })
+	return st
+}
+
+// writeJSON serializes a response body.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}

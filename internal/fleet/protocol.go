@@ -1,0 +1,257 @@
+// Package fleet turns the single-machine campaign runner into a
+// coordinator/worker architecture over HTTP: the coordinator loads a
+// sweep's full configuration list and hands out leases (cell index +
+// config + digest + deadline) to workers that poll for work; workers wrap
+// the resilient attempt machinery of internal/runner in a serve loop and
+// stream outcomes back.
+//
+// The design goal is that the whole fleet inherits the resilience
+// semantics PR 5 gave one process. Dispatch is at-least-once — a killed
+// or wedged worker's lease expires and its cell is re-dispatched to a
+// survivor — and made effectively-once by digest-matched idempotency:
+// every completion names the configuration digest it ran, the first
+// matching completion wins, and later duplicates are detected and
+// dropped. Because every simulation is single-threaded and seeded,
+// re-running a cell anywhere produces bit-identical results, so a sweep
+// executed by a chaos-ridden fleet renders byte-identically to a
+// single-process run (pinned by test and CI).
+//
+// The coordinator's manifest directory remains the durable store: run
+// manifests land exactly as in local sweeps (via the same observer
+// plumbing), a campaign journal (campaign-<sweep>.json) records the
+// fleet-level account of who ran what, and -resume promotes a partially
+// completed fleet run for free.
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"inpg"
+	"inpg/internal/metrics"
+)
+
+// Endpoint paths served by the coordinator (Coordinator implements
+// http.Handler; mount it at the server root).
+const (
+	PathLease     = "/fleet/lease"
+	PathHeartbeat = "/fleet/heartbeat"
+	PathComplete  = "/fleet/complete"
+	PathStatus    = "/fleet/status"
+	PathHealthz   = "/healthz"
+)
+
+// LeaseRequest is a worker's poll for work.
+type LeaseRequest struct {
+	// Worker identifies the polling worker across requests; lease
+	// accounting, quarantine votes and the journal's per-worker completion
+	// counts key on it.
+	Worker string `json:"worker"`
+}
+
+// Lease grants one sweep cell to one worker until the deadline passes.
+// The full configuration travels in the lease, so workers are
+// sweep-agnostic: they execute whatever cell they are handed.
+type Lease struct {
+	ID     string `json:"id"`
+	Sweep  string `json:"sweep"`
+	Index  int    `json:"index"`
+	Digest string `json:"digest"`
+	// Config is the exact configuration to execute. Config.Shards is an
+	// execution strategy excluded from the JSON encoding, so workers pick
+	// their own shard count (auto) without perturbing results.
+	Config inpg.Config `json:"config"`
+	// TTLMillis is the lease's time-to-live; a worker must heartbeat
+	// (comfortably) inside it or the coordinator reclaims the cell.
+	TTLMillis int64 `json:"ttl_ms"`
+	// Retries and RunTimeoutNanos ship the campaign's per-cell attempt
+	// policy to the worker (runner.Policy.Retries / RunTimeout).
+	Retries         int   `json:"retries"`
+	RunTimeoutNanos int64 `json:"run_timeout_ns"`
+}
+
+// LeaseResponse answers a poll: a lease, "no work right now" (nil lease),
+// or a shutdown order after which the worker should exit its serve loop.
+type LeaseResponse struct {
+	Lease    *Lease `json:"lease,omitempty"`
+	Shutdown bool   `json:"shutdown,omitempty"`
+}
+
+// HeartbeatRequest extends a lease.
+type HeartbeatRequest struct {
+	Worker  string `json:"worker"`
+	LeaseID string `json:"lease_id"`
+}
+
+// HeartbeatResponse acknowledges a heartbeat. Gone reports that the lease
+// no longer exists — expired and reclaimed, or completed by another
+// worker — so the heartbeating worker should stop renewing (its eventual
+// completion is still accepted or deduplicated by digest).
+type HeartbeatResponse struct {
+	OK   bool `json:"ok"`
+	Gone bool `json:"gone,omitempty"`
+}
+
+// CompletionReport is a worker's final word on a lease: the cell it ran
+// (index + digest), the result or the typed failure, and the attempt
+// accounting from the worker-local retry loop.
+type CompletionReport struct {
+	Worker  string `json:"worker"`
+	LeaseID string `json:"lease_id"`
+	Sweep   string `json:"sweep"`
+	Index   int    `json:"index"`
+	Digest  string `json:"digest"`
+
+	OK          bool              `json:"ok"`
+	Res         *inpg.Results     `json:"res,omitempty"`
+	Snapshot    *metrics.Snapshot `json:"snapshot,omitempty"`
+	WallSeconds float64           `json:"wall_seconds"`
+
+	// Error, Cause and Attempt describe the final failure when OK is
+	// false (runner.RunError fields flattened for the wire).
+	Error   string `json:"error,omitempty"`
+	Cause   string `json:"cause,omitempty"`
+	Attempt int    `json:"attempt,omitempty"`
+}
+
+// CompletionResponse acknowledges a completion. Duplicate reports that
+// the cell was already resolved (first write won) and this report was
+// dropped; the worker must not resend.
+type CompletionResponse struct {
+	Accepted  bool `json:"accepted"`
+	Duplicate bool `json:"duplicate,omitempty"`
+}
+
+// WorkerStatus is one fleet worker's liveness line on the dashboard.
+type WorkerStatus struct {
+	ID string `json:"id"`
+	// Num is the small integer the coordinator assigned this worker for
+	// runner.Outcome.Worker slots (monitor compatibility).
+	Num             int     `json:"num"`
+	LastSeenSeconds float64 `json:"last_seen_seconds"`
+	Completed       int     `json:"completed"`
+	Failed          int     `json:"failed"`
+	Leases          int     `json:"leases"`
+}
+
+// Status is the coordinator's public state: the active campaign's
+// progress plus fleet-lifetime counters, served on /fleet/status and
+// embedded in the sweep monitor's /vars frame.
+type Status struct {
+	Sweep     string `json:"sweep,omitempty"`
+	Cells     int    `json:"cells"`
+	Completed int    `json:"completed"`
+	Shutdown  bool   `json:"shutdown,omitempty"`
+
+	LeasesOutstanding int `json:"leases_outstanding"`
+	// Fleet-lifetime counters (across campaigns): leases reclaimed after
+	// expiry, duplicate completions dropped, late completions accepted
+	// after their lease was reclaimed, cells quarantined after distinct
+	// workers failed the same digest, and completions rejected for a
+	// digest mismatch.
+	Reclaims        int `json:"reclaims"`
+	Duplicates      int `json:"duplicates"`
+	LateAccepts     int `json:"late_accepts"`
+	Quarantined     int `json:"quarantined"`
+	DigestConflicts int `json:"digest_conflicts"`
+
+	Workers []WorkerStatus `json:"workers,omitempty"`
+}
+
+// JournalSchemaVersion identifies the campaign journal layout.
+const JournalSchemaVersion = 1
+
+// JournalKind tags a campaign journal file.
+const JournalKind = "inpg-campaign-journal"
+
+// Journal is the coordinator's durable account of one fleet campaign,
+// written into the manifest directory next to the per-run manifests. It
+// is what lets inpgvalidate audit a fleet run: which digest every index
+// was supposed to run (cross-checked against the manifests on disk), how
+// much each worker completed, and how often the failure machinery fired.
+type Journal struct {
+	SchemaVersion int    `json:"schema_version"`
+	Kind          string `json:"kind"`
+	Sweep         string `json:"sweep"`
+	Cells         int    `json:"cells"`
+	// Digests maps every cell index to the config digest dispatched for
+	// it — the idempotency key completions were matched on.
+	Digests map[int]string `json:"digests"`
+	// WorkerCompletions counts accepted completions per worker ID.
+	WorkerCompletions map[string]int `json:"worker_completions"`
+	Reclaims          int            `json:"reclaims"`
+	Duplicates        int            `json:"duplicates"`
+	LateAccepts       int            `json:"late_accepts"`
+	DigestConflicts   int            `json:"digest_conflicts"`
+	Quarantined       []int          `json:"quarantined,omitempty"`
+	// Skipped counts cells satisfied without dispatch (resume hits and
+	// pre-screened estimates).
+	Skipped int `json:"skipped"`
+}
+
+// Validate checks the journal against its schema.
+func (j *Journal) Validate() error {
+	switch {
+	case j.SchemaVersion != JournalSchemaVersion:
+		return fmt.Errorf("journal: schema_version %d, want %d", j.SchemaVersion, JournalSchemaVersion)
+	case j.Kind != JournalKind:
+		return fmt.Errorf("journal: kind %q, want %q", j.Kind, JournalKind)
+	case j.Sweep == "":
+		return fmt.Errorf("journal: empty sweep")
+	case j.Cells < 0:
+		return fmt.Errorf("journal: negative cell count %d", j.Cells)
+	case len(j.Digests) != j.Cells:
+		return fmt.Errorf("journal: %d digests for %d cells", len(j.Digests), j.Cells)
+	}
+	for idx, d := range j.Digests {
+		if idx < 0 || idx >= j.Cells {
+			return fmt.Errorf("journal: digest for out-of-range index %d", idx)
+		}
+		if d == "" {
+			return fmt.Errorf("journal: empty digest for index %d", idx)
+		}
+	}
+	return nil
+}
+
+// JournalFilename returns the journal's conventional file name within a
+// sweep output directory. The distinct prefix keeps it out of
+// manifest.ScanDir's resume scan.
+func JournalFilename(sweep string) string {
+	return fmt.Sprintf("campaign-%s.json", sweep)
+}
+
+// WriteJournal writes the journal as indented JSON into dir under its
+// conventional name, creating dir if needed.
+func WriteJournal(dir string, j *Journal) (string, error) {
+	if err := j.Validate(); err != nil {
+		return "", err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, JournalFilename(j.Sweep))
+	data, err := json.MarshalIndent(j, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return path, os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadJournal loads and validates a campaign journal from disk.
+func ReadJournal(path string) (*Journal, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var j Journal
+	if err := json.Unmarshal(data, &j); err != nil {
+		return nil, fmt.Errorf("journal %s: %w", path, err)
+	}
+	if err := j.Validate(); err != nil {
+		return nil, fmt.Errorf("journal %s: %w", path, err)
+	}
+	return &j, nil
+}

@@ -384,17 +384,20 @@ func (m *Manifest) WriteFile(dir string) (string, error) {
 }
 
 // ScanDir loads every valid manifest for the named sweep from dir, keyed
-// by run index. Files that are missing, unreadable, fail validation or
-// belong to another sweep are simply not in the map — resume treats them
-// as gaps to re-run — and their paths are returned in skipped for
-// reporting. The only hard error is failing to read the directory.
+// by run index. Files that fail to read or validate are quarantined —
+// renamed to <name>.bad so they never block a rescan — and reported in
+// the returned warnings; a half-written manifest from a killed worker
+// must not block resume. A valid manifest recorded for a different sweep
+// is left in place (it is someone else's good data) but warned about.
+// Either way the scan keeps going and the affected indexes are simply
+// gaps to re-run. The only hard error is failing to read the directory.
 func ScanDir(dir, sweep string) (map[int]*Manifest, []string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, nil, err
 	}
 	found := make(map[int]*Manifest)
-	var skipped []string
+	var warnings []string
 	prefix := fmt.Sprintf("manifest-%s-", sweep)
 	for _, e := range entries {
 		name := e.Name()
@@ -404,13 +407,24 @@ func ScanDir(dir, sweep string) (map[int]*Manifest, []string, error) {
 		}
 		path := filepath.Join(dir, name)
 		m, err := ReadFile(path)
-		if err != nil || m.Sweep != sweep {
-			skipped = append(skipped, path)
-			continue
+		switch {
+		case err != nil:
+			bad := path + ".bad"
+			if renameErr := os.Rename(path, bad); renameErr != nil {
+				warnings = append(warnings,
+					fmt.Sprintf("corrupt manifest %s (quarantine to %s failed: %v): %v", path, bad, renameErr, err))
+			} else {
+				warnings = append(warnings,
+					fmt.Sprintf("quarantined corrupt manifest %s -> %s: %v", path, bad, err))
+			}
+		case m.Sweep != sweep:
+			warnings = append(warnings,
+				fmt.Sprintf("ignoring manifest %s: records sweep %q, scanning %q", path, m.Sweep, sweep))
+		default:
+			found[m.Index] = m
 		}
-		found[m.Index] = m
 	}
-	return found, skipped, nil
+	return found, warnings, nil
 }
 
 // ReadFile loads and validates a manifest from disk.

@@ -189,3 +189,78 @@ func TestManifestValidateRejects(t *testing.T) {
 		}
 	}
 }
+
+func TestScanDirQuarantinesCorruptManifests(t *testing.T) {
+	cfg, sys, res := smallRun(t)
+	dir := t.TempDir()
+	good := Build("fig2", 3, cfg, res, sys.MetricsSnapshot(), 0.25, nil)
+	if _, err := good.WriteFile(dir); err != nil {
+		t.Fatal(err)
+	}
+	// A half-written manifest from a killed worker: truncated JSON under
+	// a matching filename.
+	corrupt := filepath.Join(dir, "manifest-fig2-0004.json")
+	if err := os.WriteFile(corrupt, []byte(`{"schema_version":1,"sweep":"fi`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A valid manifest whose contents record a different sweep: someone
+	// else's good data under a misleading name.
+	other := Build("fig4", 5, cfg, res, nil, 0.25, nil)
+	otherPath, err := other.WriteFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	misnamed := filepath.Join(dir, "manifest-fig2-0005.json")
+	if err := os.Rename(otherPath, misnamed); err != nil {
+		t.Fatal(err)
+	}
+
+	found, warnings, err := ScanDir(dir, "fig2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(found) != 1 || found[3] == nil {
+		t.Fatalf("found = %v, want only index 3", found)
+	}
+	if len(warnings) != 2 {
+		t.Fatalf("warnings = %v, want 2", warnings)
+	}
+	var sawQuarantine, sawIgnore bool
+	for _, w := range warnings {
+		if strings.Contains(w, "quarantined corrupt manifest") && strings.Contains(w, corrupt) {
+			sawQuarantine = true
+		}
+		if strings.Contains(w, "ignoring manifest") && strings.Contains(w, `sweep "fig4"`) {
+			sawIgnore = true
+		}
+	}
+	if !sawQuarantine || !sawIgnore {
+		t.Fatalf("warnings missing quarantine/ignore notices: %v", warnings)
+	}
+	// The corrupt file was renamed out of the way; the misnamed one —
+	// valid data for another sweep — was left in place.
+	if _, err := os.Stat(corrupt); !os.IsNotExist(err) {
+		t.Fatalf("corrupt manifest still present: %v", err)
+	}
+	if _, err := os.Stat(corrupt + ".bad"); err != nil {
+		t.Fatalf(".bad quarantine file missing: %v", err)
+	}
+	if _, err := os.Stat(misnamed); err != nil {
+		t.Fatalf("other-sweep manifest should stay put: %v", err)
+	}
+
+	// A rescan is clean: the quarantined file no longer triggers
+	// warnings, so resume never wedges on the same corruption twice.
+	found, warnings, err = ScanDir(dir, "fig2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(found) != 1 {
+		t.Fatalf("rescan found = %v", found)
+	}
+	for _, w := range warnings {
+		if strings.Contains(w, "corrupt") {
+			t.Fatalf("rescan re-warned about quarantined file: %v", warnings)
+		}
+	}
+}

@@ -11,6 +11,7 @@
 package monitor
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -21,12 +22,17 @@ import (
 	"sync"
 	"time"
 
+	"inpg/internal/fleet"
 	"inpg/internal/runner"
 )
 
 // rateWindow bounds the rolling-throughput window: runs per second is
 // measured over completions in the last rateWindow.
 const rateWindow = 30 * time.Second
+
+// closeGrace bounds the graceful HTTP shutdown inside Close: in-flight
+// handlers get this long to finish before the server is torn down hard.
+const closeGrace = 2 * time.Second
 
 // WorkerStatus is one worker goroutine's current activity.
 type WorkerStatus struct {
@@ -58,6 +64,10 @@ type Status struct {
 	// Counters aggregates the final telemetry snapshots of completed
 	// metered runs (empty when metrics are off).
 	Counters map[string]uint64 `json:"counters,omitempty"`
+	// Fleet is the coordinator's live state when this monitor fronts a
+	// distributed campaign (SetFleet): per-worker liveness, leases
+	// outstanding, reclaims, quarantines. Nil on local sweeps.
+	Fleet *fleet.Status `json:"fleet,omitempty"`
 }
 
 // Monitor aggregates run outcomes and serves them over HTTP.
@@ -78,6 +88,8 @@ type Monitor struct {
 	skipped     int
 	abandoned   int
 	subs        map[chan []byte]struct{}
+	closed      bool
+	fleetFn     func() fleet.Status
 
 	ln  net.Listener
 	srv *http.Server
@@ -103,6 +115,15 @@ func (m *Monitor) Observer() runner.Observer {
 	return func(o runner.Outcome) { m.ch <- o }
 }
 
+// SetFleet installs the fleet-status provider — the coordinator's Status
+// method — turning /vars, /events and the progress page into the fleet
+// dashboard. Call before the campaign starts.
+func (m *Monitor) SetFleet(fn func() fleet.Status) {
+	m.mu.Lock()
+	m.fleetFn = fn
+	m.mu.Unlock()
+}
+
 // Serve starts the HTTP server on addr (e.g. ":8080") and returns the
 // bound address. Endpoints: / (plain-text progress), /vars (JSON),
 // /events (SSE), /debug/pprof/ (profiling).
@@ -115,6 +136,7 @@ func (m *Monitor) Serve(addr string) (string, error) {
 	mux.HandleFunc("/", m.handleText)
 	mux.HandleFunc("/vars", m.handleVars)
 	mux.HandleFunc("/events", m.handleEvents)
+	mux.HandleFunc("/healthz", m.handleHealthz)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -126,14 +148,28 @@ func (m *Monitor) Serve(addr string) (string, error) {
 	return ln.Addr().String(), nil
 }
 
-// Close stops the aggregator and the HTTP server. The caller must not
-// invoke the Observer after Close — in practice: close after every sweep
-// using it has returned.
+// Close stops the monitor gracefully: the aggregator drains its queued
+// outcomes, SSE subscribers are flushed and released (their channels
+// closed, so streams end cleanly rather than mid-frame), and the HTTP
+// server gets a bounded graceful shutdown (closeGrace) before being torn
+// down hard. The caller must not invoke the Observer after Close — in
+// practice: close after every sweep using it has returned.
 func (m *Monitor) Close() error {
 	close(m.ch)
 	m.drain.Wait()
+	m.mu.Lock()
+	m.closed = true
+	for sub := range m.subs {
+		close(sub)
+	}
+	m.subs = map[chan []byte]struct{}{}
+	m.mu.Unlock()
 	if m.srv != nil {
-		return m.srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), closeGrace)
+		defer cancel()
+		if err := m.srv.Shutdown(ctx); err != nil {
+			return m.srv.Close()
+		}
 	}
 	return nil
 }
@@ -240,6 +276,10 @@ func (m *Monitor) statusLocked() Status {
 			st.Counters[k] = v
 		}
 	}
+	if m.fleetFn != nil {
+		fs := m.fleetFn()
+		st.Fleet = &fs
+	}
 	return st
 }
 
@@ -282,6 +322,16 @@ func (m *Monitor) handleText(w http.ResponseWriter, r *http.Request) {
 			fmt.Fprintf(&b, "worker %2d: idle\n", ws.Worker)
 		}
 	}
+	if fs := st.Fleet; fs != nil {
+		fmt.Fprintf(&b, "\nfleet: sweep %s, %d/%d cells, %d leases outstanding\n",
+			fs.Sweep, fs.Completed, fs.Cells, fs.LeasesOutstanding)
+		fmt.Fprintf(&b, "fleet: reclaimed %d, duplicates %d, late accepts %d, quarantined %d, digest conflicts %d\n",
+			fs.Reclaims, fs.Duplicates, fs.LateAccepts, fs.Quarantined, fs.DigestConflicts)
+		for _, fw := range fs.Workers {
+			fmt.Fprintf(&b, "fleet worker %-24s last seen %5.1fs ago, %d leases held, %d completed, %d failed\n",
+				fw.ID, fw.LastSeenSeconds, fw.Leases, fw.Completed, fw.Failed)
+		}
+	}
 	if len(st.Counters) > 0 {
 		names := make([]string, 0, len(st.Counters))
 		for k := range st.Counters {
@@ -309,6 +359,11 @@ func (m *Monitor) handleEvents(w http.ResponseWriter, r *http.Request) {
 
 	sub := make(chan []byte, 16)
 	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		http.Error(w, "monitor closed", http.StatusServiceUnavailable)
+		return
+	}
 	m.subs[sub] = struct{}{}
 	first, _ := json.Marshal(m.statusLocked())
 	m.mu.Unlock()
@@ -322,11 +377,23 @@ func (m *Monitor) handleEvents(w http.ResponseWriter, r *http.Request) {
 	fl.Flush()
 	for {
 		select {
-		case frame := <-sub:
+		case frame, ok := <-sub:
+			if !ok {
+				// Monitor closing: the stream ends cleanly after the last
+				// flushed frame.
+				return
+			}
 			fmt.Fprintf(w, "data: %s\n\n", frame)
 			fl.Flush()
 		case <-r.Context().Done():
 			return
 		}
 	}
+}
+
+// handleHealthz answers liveness probes: the monitor is healthy exactly
+// while its aggregator accepts outcomes.
+func (m *Monitor) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, `{"status":"ok"}`)
 }

@@ -5,12 +5,15 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
 
 	"inpg"
+	"inpg/internal/fleet"
 	"inpg/internal/metrics"
 	"inpg/internal/runner"
 )
@@ -192,5 +195,110 @@ func readAll(t *testing.T, resp *http.Response) string {
 		if err != nil {
 			return b.String()
 		}
+	}
+}
+
+// TestMonitorHealthzAndFleetStatus: /healthz answers liveness probes,
+// and an installed fleet provider turns /vars and the progress page into
+// the fleet dashboard.
+func TestMonitorHealthzAndFleetStatus(t *testing.T) {
+	m := New()
+	addr, err := m.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	m.SetFleet(func() fleet.Status {
+		return fleet.Status{Sweep: "fig2", Cells: 15, Completed: 7, Reclaims: 3,
+			Workers: []fleet.WorkerStatus{{ID: "w1", Completed: 7, Leases: 1}}}
+	})
+
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, `"ok"`) {
+		t.Fatalf("healthz = %d %q", resp.StatusCode, body)
+	}
+
+	resp, err = http.Get("http://" + addr + "/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Fleet == nil || st.Fleet.Sweep != "fig2" || st.Fleet.Reclaims != 3 {
+		t.Fatalf("/vars fleet = %+v", st.Fleet)
+	}
+
+	resp, err = http.Get("http://" + addr + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	page := readAll(t, resp)
+	if !strings.Contains(page, "fleet: sweep fig2, 7/15 cells") ||
+		!strings.Contains(page, "fleet worker w1") {
+		t.Fatalf("progress page without fleet section:\n%s", page)
+	}
+}
+
+// TestMonitorGracefulCloseNoLeaks: Close with a live SSE subscriber
+// flushes and ends the stream cleanly (EOF, not an aborted connection)
+// and leaves no goroutines behind.
+func TestMonitorGracefulCloseNoLeaks(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	m := New()
+	addr, err := m.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &http.Transport{DisableKeepAlives: true}
+	client := &http.Client{Transport: tr}
+
+	resp, err := client.Get("http://" + addr + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := bufio.NewReader(resp.Body)
+	if _, err := r.ReadString('\n'); err != nil { // initial frame
+		t.Fatal(err)
+	}
+	feed(m.Observer(), 0, 0, nil, nil)
+	waitFor(t, m, func(st Status) bool { return st.Completed == 1 })
+
+	if err := m.Close(); err != nil {
+		t.Fatalf("graceful close: %v", err)
+	}
+	// The subscriber's stream must end cleanly: reads drain any flushed
+	// frames and then hit EOF rather than a reset.
+	for {
+		if _, err := r.ReadString('\n'); err != nil {
+			if !errors.Is(err, io.EOF) {
+				t.Fatalf("SSE stream ended with %v, want EOF", err)
+			}
+			break
+		}
+	}
+	resp.Body.Close()
+	tr.CloseIdleConnections()
+
+	// A late subscriber is refused rather than left hanging.
+	if _, err := http.Get("http://" + addr + "/events"); err == nil {
+		t.Fatal("post-close connect should fail (listener closed)")
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines leaked: %d -> %d\n%s", before, runtime.NumGoroutine(),
+				buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 }

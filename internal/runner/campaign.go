@@ -122,6 +122,40 @@ func attemptOne(i, attempt int, cfg inpg.Config, digest string, timeout time.Dur
 	return res, snap, time.Since(start).Seconds(), rerr
 }
 
+// RunOne executes a single configuration under the policy's retry
+// machinery — panic isolation, per-attempt deadline (p.RunTimeout),
+// deterministic digest-seeded backoff, up to p.Retries re-attempts — and
+// returns the final attempt's result, telemetry snapshot, wall time and
+// 0-based attempt number. It is the fleet worker's building block: one
+// leased cell, executed with exactly the semantics a local sweep would
+// apply, with the lifecycle reporting left to the caller. Workers,
+// Observer and Skip are ignored.
+func RunOne(cfg inpg.Config, p Policy) (*inpg.Results, *metrics.Snapshot, float64, int, *RunError) {
+	digest := cfg.Digest()
+	var (
+		res  *inpg.Results
+		snap *metrics.Snapshot
+		wall float64
+		rerr *RunError
+	)
+	attempt := 0
+	for ; attempt <= p.Retries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(Backoff(digest, attempt, p.BackoffBase, p.BackoffMax))
+		}
+		// A lone run has no sweep index; RunError.Index is 0 and callers
+		// relabel it with their own cell index.
+		res, snap, wall, rerr = attemptOne(0, attempt, cfg, digest, p.RunTimeout, p.PreAttempt)
+		if rerr == nil {
+			break
+		}
+	}
+	if attempt > p.Retries {
+		attempt = p.Retries
+	}
+	return res, snap, wall, attempt, rerr
+}
+
 // RunResilient executes every configuration in keep-going mode: each cell
 // runs under panic isolation and an optional per-attempt deadline, failed
 // cells are retried up to p.Retries times with deterministic jittered

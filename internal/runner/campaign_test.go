@@ -306,3 +306,52 @@ func TestRunObservedTagsAbandoned(t *testing.T) {
 		t.Fatalf("index 0 status = %q, want abandoned (clean completion after the sweep failed)", statuses[0])
 	}
 }
+
+func TestRunOneSingleCellBuildingBlock(t *testing.T) {
+	// A clean cell succeeds on the first attempt and matches what the
+	// full campaign machinery produces for the same configuration.
+	cfg := longConfig(9)
+	res, _, wall, attempt, rerr := RunOne(cfg, Policy{})
+	if rerr != nil {
+		t.Fatalf("clean run failed: %v", rerr)
+	}
+	if res == nil || attempt != 0 || wall < 0 {
+		t.Fatalf("res=%v attempt=%d wall=%v", res, attempt, wall)
+	}
+	ref, errs := RunResilient([]inpg.Config{cfg}, Policy{Workers: 1})
+	if errs[0] != nil {
+		t.Fatal(errs[0])
+	}
+	if !reflect.DeepEqual(res, ref[0]) {
+		t.Fatal("RunOne and RunResilient disagree on the same cell")
+	}
+
+	// A chaos hook that panics on the first two attempts is absorbed by
+	// the retry loop; the third attempt lands.
+	res, _, _, attempt, rerr = RunOne(cfg, Policy{
+		Retries:     2,
+		BackoffBase: time.Microsecond,
+		BackoffMax:  time.Microsecond,
+		PreAttempt: func(_, attempt int) {
+			if attempt < 2 {
+				panic("chaos")
+			}
+		},
+	})
+	if rerr != nil || res == nil || attempt != 2 {
+		t.Fatalf("after 2 injected panics: res=%v attempt=%d err=%v", res, attempt, rerr)
+	}
+
+	// A config inpg.New rejects burns every retry, classifies as
+	// CauseConfig, and reports the last attempt number.
+	bad := cfg
+	bad.MeshWidth = 0
+	res, _, _, attempt, rerr = RunOne(bad, Policy{
+		Retries:     1,
+		BackoffBase: time.Microsecond,
+		BackoffMax:  time.Microsecond,
+	})
+	if res != nil || rerr == nil || rerr.Cause != CauseConfig || attempt != 1 {
+		t.Fatalf("bad config: res=%v attempt=%d err=%v", res, attempt, rerr)
+	}
+}
