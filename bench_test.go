@@ -223,6 +223,44 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	b.ReportMetric(float64(cycles)/float64(b.N), "sim-cycles/run")
 }
 
+// BenchmarkSimulatorThroughputJourney prices what observability adds on
+// top of BenchmarkSimulatorThroughput's exact workload: "metrics" pays
+// for the telemetry registry alone (the tracer's prerequisite), and
+// "journey" additionally sets JourneyRate 1 — every acquisition carries
+// a full per-stage journey record, the worst case for the sampling
+// knob. At equal b.N the sim-cycles/run metric matches the untraced
+// benchmark bit-for-bit: tracing observes, never perturbs.
+func BenchmarkSimulatorThroughputJourney(b *testing.B) {
+	for _, v := range []struct {
+		name string
+		rate float64
+	}{{"metrics", 0}, {"journey", 1}} {
+		b.Run(v.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var cycles uint64
+			for i := 0; i < b.N; i++ {
+				cfg := inpg.DefaultConfig()
+				cfg.CSPerThread = 3
+				cfg.CSCycles = 100
+				cfg.ParallelCycles = 1500
+				cfg.Seed = int64(i + 1)
+				cfg.Metrics = true
+				cfg.JourneyRate = v.rate
+				sys, err := inpg.New(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := sys.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles += res.Runtime
+			}
+			b.ReportMetric(float64(cycles)/float64(b.N), "sim-cycles/run")
+		})
+	}
+}
+
 // BenchmarkSimulatorIdleHeavy measures simulation speed on an idle-heavy
 // workload: TTL (whose waiters back off proportionally to queue distance)
 // with long parallel phases, so for most of the run the chip is quiescent —

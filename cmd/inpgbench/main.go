@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -32,21 +33,28 @@ import (
 	"inpg/internal/runner"
 )
 
-// logfStderr routes fleet lifecycle lines to stderr so stdout figure
-// tables stay byte-comparable across runs.
-func logfStderr(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, format+"\n", args...)
+// newLogger builds the structured logger for fleet and runner
+// diagnostics, on stderr so stdout figure tables stay byte-comparable
+// across runs. A bad level name is fatal (a silently defaulted level
+// would hide the diagnostics the user asked for).
+func newLogger(level string) *slog.Logger {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		fmt.Fprintf(os.Stderr, "inpgbench: bad -log-level %q (want debug, info, warn or error)\n", level)
+		os.Exit(2)
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lv}))
 }
 
 // runWorker serves a coordinator until it orders shutdown. SIGTERM (or
 // the first interrupt) drains gracefully — the leased cells finish, new
 // ones are declined; a second signal kills the worker immediately, which
 // is exactly the failure the coordinator's lease reclaim recovers from.
-func runWorker(url string, slots, killAfter int, dropRate float64, seed int64) {
+func runWorker(log *slog.Logger, url string, slots, killAfter int, dropRate float64, seed int64) {
 	w := fleet.NewWorker(fleet.WorkerConfig{
 		Coordinator: url, Slots: slots,
 		ChaosKillAfter: killAfter, ChaosDropRate: dropRate, ChaosSeed: seed,
-		Logf: logfStderr,
+		Log: log,
 	})
 	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -82,7 +90,7 @@ func parseCells(s string) []int {
 
 func main() {
 	var (
-		fig     = flag.String("fig", "", "comma-separated figure list: t1,2,7,8,9,10,11,12,13,14,15,abl,res,pre")
+		fig     = flag.String("fig", "", "comma-separated figure list: t1,2,7,8,9,10,11,12,13,14,15,abl,res,pre,lat")
 		all     = flag.Bool("all", false, "run every figure")
 		quick   = flag.Bool("quick", false, "smaller runs (for smoke testing)")
 		full    = flag.Bool("full13", false, "run Figure 13 over all 24 programs instead of 9")
@@ -108,6 +116,8 @@ func main() {
 		resume  = flag.String("resume", "", "resume from this manifest directory: skip cells whose manifest records a successful run with a matching config digest")
 		chPanic = flag.String("chaos-panic", "", "comma-separated sweep cell indexes to crash with an injected panic (chaos testing)")
 		chDead  = flag.String("chaos-deadline", "", "comma-separated sweep cell indexes to fail with an unmeetable wall-time budget (chaos testing)")
+		jRate   = flag.Float64("journey-rate", 0, "fraction of lock acquisitions to journey-trace with per-stage latency attribution (0 = off; -fig lat defaults to 1; implies -metrics)")
+		logLvl  = flag.String("log-level", "info", "structured-log level for fleet and runner diagnostics: debug, info, warn, error")
 
 		coordAddr  = flag.String("coordinator", "", "serve a fleet coordinator on this address (e.g. :9000): sweeps are leased to polling workers instead of the local pool")
 		workerURL  = flag.String("worker", "", "serve as a fleet worker for the coordinator at this URL (e.g. http://host:9000); with -coordinator, 'self' runs an in-process worker (local fleet mode)")
@@ -118,11 +128,12 @@ func main() {
 		chDrop     = flag.Float64("chaos-drop-rate", 0, "worker: probability a completion acknowledgement is deterministically dropped and the report resent (chaos testing)")
 	)
 	flag.Parse()
+	logger := newLogger(*logLvl)
 
 	// Pure worker mode: no figures, no sweeps — serve the coordinator
 	// until it orders shutdown or SIGTERM drains us.
 	if *workerURL != "" && *coordAddr == "" {
-		runWorker(*workerURL, runner.Workers(*workers), *chKill, *chDrop, *seed)
+		runWorker(logger, *workerURL, runner.Workers(*workers), *chKill, *chDrop, *seed)
 		return
 	}
 
@@ -157,9 +168,10 @@ func main() {
 
 	o := experiments.Options{Scale: *scale, Seed: *seed, Seeds: *seeds, Quick: *quick, Workers: *workers, Shards: *shards, Compat: *compat,
 		FaultRate: *fRate, FaultSeed: *fSeed, WatchdogWindow: *wdog,
-		Metrics: *metrics, MetricsSampleEvery: *mEvery, ManifestDir: *manDir,
+		Metrics: *metrics, MetricsSampleEvery: *mEvery, JourneyRate: *jRate, ManifestDir: *manDir,
 		Retries: *retries, RunTimeout: *runTO, Resume: *resume,
-		ChaosPanicCells: parseCells(*chPanic), ChaosDeadlineCells: parseCells(*chDead)}
+		ChaosPanicCells: parseCells(*chPanic), ChaosDeadlineCells: parseCells(*chDead),
+		Log: logger}
 	// Resuming implies journaling: re-run cells land their manifests next
 	// to the ones being reused, so a further resume sees a complete set.
 	if o.Resume != "" && o.ManifestDir == "" {
@@ -180,7 +192,7 @@ func main() {
 	if *coordAddr != "" {
 		coord := fleet.NewCoordinator(fleet.Config{
 			LeaseTTL: *leaseTTL, QuarantineAfter: *quarAfter,
-			ManifestDir: o.ManifestDir, Logf: logfStderr,
+			ManifestDir: o.ManifestDir, Log: logger,
 		})
 		ln, err := net.Listen("tcp", *coordAddr)
 		if err != nil {
@@ -212,7 +224,7 @@ func main() {
 			w := fleet.NewWorker(fleet.WorkerConfig{
 				Coordinator: target, Slots: runner.Workers(*workers),
 				ChaosKillAfter: *chKill, ChaosDropRate: *chDrop, ChaosSeed: *seed,
-				Logf: logfStderr,
+				Log: logger,
 			})
 			fmt.Fprintf(os.Stderr, "[inpgbench: in-process fleet worker %s, %d slots]\n",
 				w.ID(), runner.Workers(*workers))
@@ -332,6 +344,16 @@ func main() {
 	// CS throughput against injected fault rates for every mechanism.
 	show("res", func() (string, error) {
 		r, err := experiments.Resilience(o)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	})
+	// The latency-breakdown figure (not a paper figure, excluded from
+	// -all so untraced suite output stays byte-comparable): per-stage
+	// attribution of lock-acquisition latency from sampled journeys.
+	show("lat", func() (string, error) {
+		r, err := experiments.LatencyBreakdown(o)
 		if err != nil {
 			return "", err
 		}

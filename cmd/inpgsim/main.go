@@ -55,6 +55,7 @@ func main() {
 		mEvery   = flag.Int("metrics-every", 0, "sample the registry every N cycles (requires -metrics; feeds -trace-out counter tracks)")
 		manDir   = flag.String("manifest", "", "write a JSON run manifest into this directory")
 		traceOut = flag.String("trace-out", "", "write a Chrome trace-event/Perfetto .trace.json of the primary lock block to this file")
+		jRate    = flag.Float64("journey-rate", 0, "fraction of lock acquisitions to journey-trace with per-stage latency attribution (0 = off; sampling never perturbs the run)")
 	)
 	flag.Parse()
 
@@ -97,6 +98,7 @@ func main() {
 	cfg.WallTimeBudget = *wallTime
 	cfg.Metrics = *metricsF
 	cfg.MetricsSampleEvery = *mEvery
+	cfg.JourneyRate = *jRate
 	if *traceOut != "" && cfg.TraceCapacity == 0 {
 		cfg.TraceCapacity = 1 << 16
 		cfg.TraceAddr = inpg.PrimaryLockAddr(cfg)
@@ -190,7 +192,7 @@ func writeArtifacts(sys *inpg.System, cfg inpg.Config, res *inpg.Results, runErr
 		if buf := sys.Trace(); buf != nil {
 			events = buf.Events()
 		}
-		fatal(metrics.WriteChromeTrace(f, events, sys.MetricsSampler()))
+		fatal(metrics.WriteChromeTraceJourneys(f, events, sys.MetricsSampler(), sys.Journeys()))
 		fatal(f.Close())
 		fmt.Fprintf(os.Stderr, "[trace: %s]\n", traceOut)
 	}

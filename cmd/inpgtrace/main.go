@@ -33,6 +33,7 @@ func main() {
 		maxEv    = flag.Int("max", 200, "maximum events to print")
 		seed     = flag.Int64("seed", 1, "random seed")
 		outFile  = flag.String("out", "", "also export the full trace as Chrome trace-event/Perfetto JSON to this file")
+		jRate    = flag.Float64("journey-rate", 0, "fraction of lock acquisitions to journey-trace; sampled journeys render as nested spans in -out")
 	)
 	flag.Parse()
 
@@ -52,6 +53,7 @@ func main() {
 	cfg.ParallelJitter = 50
 	cfg.Seed = *seed
 	cfg.TraceCapacity = 1 << 16
+	cfg.JourneyRate = *jRate
 	// Trace only the primary lock block: its home is the Figure 10
 	// default, core (5,6) = node 53, block 0.
 	home := noc.NodeID(53)
@@ -67,7 +69,7 @@ func main() {
 	if *outFile != "" {
 		f, err := os.Create(*outFile)
 		fatal(err)
-		fatal(metrics.WriteChromeTrace(f, events, sys.MetricsSampler()))
+		fatal(metrics.WriteChromeTraceJourneys(f, events, sys.MetricsSampler(), sys.Journeys()))
 		fatal(f.Close())
 		fmt.Fprintf(os.Stderr, "[trace: %s, %d events]\n", *outFile, len(events))
 	}

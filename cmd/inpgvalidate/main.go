@@ -19,6 +19,7 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -135,6 +136,12 @@ func (v *validator) checkFile(path string) {
 				path, m.Sweep, m.Index, m.Mechanism, m.Lock, m.Cause, m.Attempt, diag)
 			return
 		}
+		if js := m.Journey; js != nil {
+			fmt.Printf("ok %s (%s/%d, %s/%s) journeys=%d intercepted=%d e2e_mean=%.1f\n",
+				path, m.Sweep, m.Index, m.Mechanism, m.Lock,
+				js.Completed, js.Intercepted, float64(js.E2E.Sum)/float64(max(js.Completed, 1)))
+			return
+		}
 		fmt.Printf("ok %s (%s/%d, %s/%s)\n", path, m.Sweep, m.Index, m.Mechanism, m.Lock)
 	case strings.HasPrefix(base, "estimate-") && strings.HasSuffix(base, ".json"):
 		m, err := manifest.ReadFile(path)
@@ -172,9 +179,57 @@ func (v *validator) checkFile(path string) {
 		if err := metrics.ValidateChromeTrace(data); err != nil {
 			fatal(fmt.Errorf("%s: %w", path, err))
 		}
+		journeys, err := checkJourneySpans(data)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
 		v.checked++
+		if journeys > 0 {
+			fmt.Printf("ok %s (%d journey spans)\n", path, journeys)
+			return
+		}
 		fmt.Printf("ok %s\n", path)
 	}
+}
+
+// checkJourneySpans structurally audits the lock-journey spans of an
+// exported trace (span nesting and nonnegative durations are already
+// enforced by metrics.ValidateChromeTrace): every journey parent span's
+// per-stage attribution must sum to its duration within one cycle of
+// rounding. Returns how many journey spans were checked.
+func checkJourneySpans(data []byte) (int, error) {
+	var t struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Dur  uint64 `json:"dur"`
+			Args struct {
+				Stages map[string]uint64 `json:"stages"`
+			} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &t); err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, e := range t.TraceEvents {
+		if e.Ph != "X" || e.Args.Stages == nil {
+			continue
+		}
+		n++
+		var sum uint64
+		for _, v := range e.Args.Stages {
+			sum += v
+		}
+		diff := sum - e.Dur
+		if sum < e.Dur {
+			diff = e.Dur - sum
+		}
+		if diff > 1 {
+			return n, fmt.Errorf("journey span %q: stage cycles sum to %d, span duration %d", e.Name, sum, e.Dur)
+		}
+	}
+	return n, nil
 }
 
 func fatal(err error) {

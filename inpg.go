@@ -41,6 +41,7 @@ import (
 	"inpg/internal/coherence"
 	"inpg/internal/cpu"
 	"inpg/internal/fault"
+	"inpg/internal/journey"
 	"inpg/internal/lock"
 	"inpg/internal/metrics"
 	"inpg/internal/noc"
@@ -263,6 +264,19 @@ type Config struct {
 	// by how many goroutines computed them. Counts above MeshHeight are
 	// clamped; 0 and 1 run the classic single-threaded engine.
 	Shards int `json:"-"`
+
+	// JourneyRate, when in (0, 1], samples that fraction of
+	// critical-section acquisitions into causal lock-journey records
+	// (internal/journey): per-stage latency attribution from the Acquire
+	// call to its completion callback. Sampling decisions are a keyed hash
+	// of (Seed, thread, acquire index) — no RNG — and the tracer follows
+	// the tracingLock/metricsLock discipline of adding no simulated time,
+	// so sampled runs are cycle-identical to unsampled ones (pinned by
+	// TestJourneySamplingInvisible). Like Shards it is an observability
+	// strategy, not a simulation parameter, and is excluded from the JSON
+	// encoding: the config digest and manifests must not distinguish runs
+	// by whether someone was watching.
+	JourneyRate float64 `json:"-"`
 }
 
 // Digest returns a short stable fingerprint of the configuration: the hex
@@ -319,6 +333,13 @@ type System struct {
 	sampler     *metrics.Sampler
 	lockHold    *stats.Histogram
 	lockHandoff *stats.Histogram
+
+	// Journey tracing (nil unless Config.JourneyRate > 0): the recorder
+	// collecting finished journeys, plus — only with Metrics also on —
+	// the end-to-end and per-stage cycle histograms fed from OnFinish.
+	journeys     *journey.Recorder
+	journeyE2E   *stats.Histogram
+	journeyStage [journey.NumStages]*stats.Histogram
 
 	// abortCtx, when set via AbortOn, cancels the run cooperatively.
 	abortCtx context.Context
@@ -523,6 +544,29 @@ func New(cfg Config) (*System, error) {
 		s.lockImpl = &metricsLock{inner: s.lockImpl, eng: eng,
 			hold: s.lockHold, handoff: s.lockHandoff,
 			acquiredAt: make([]sim.Cycle, threads)}
+	}
+
+	// Journey tracing wraps outermost so a sampled journey's Begin fires
+	// before any inner decorator or lock logic runs and its Finish fires
+	// after them — all at the same cycles; the decorator perturbs nothing.
+	if cfg.JourneyRate > 0 {
+		s.journeys = journey.NewRecorder(0)
+		if cfg.Metrics {
+			s.journeyE2E = stats.NewHistogram(16)
+			for i := range s.journeyStage {
+				s.journeyStage[i] = stats.NewHistogram(16)
+			}
+			e2e, stages := s.journeyE2E, s.journeyStage
+			s.journeys.OnFinish = func(r *journey.Record) {
+				e2e.Add(r.E2E())
+				for st, v := range r.Stages {
+					stages[st].Add(v)
+				}
+			}
+		}
+		s.lockImpl = &journeyLock{inner: s.lockImpl, eng: eng, l1s: fab.L1s,
+			rec: s.journeys, rate: cfg.JourneyRate, seed: cfg.Seed,
+			active: make([]*journey.Record, threads)}
 	}
 
 	// Threads.
@@ -789,6 +833,10 @@ func (s *System) Timeline() *stats.Timeline { return s.timeline }
 
 // Trace exposes the protocol trace buffer, or nil when disabled.
 func (s *System) Trace() *trace.Buffer { return s.tracer }
+
+// Journeys exposes the lock-journey recorder, or nil when
+// Config.JourneyRate is zero.
+func (s *System) Journeys() *journey.Recorder { return s.journeys }
 
 // payloadName renders a packet's payload type for traces.
 func payloadName(p *noc.Packet) string {

@@ -174,6 +174,12 @@ func (g *Gen) onLockGetX(now sim.Cycle, r *noc.Router, p *noc.Packet, m *coheren
 	m.ToDir = true
 	m.Token = token
 	p.LockReq = false // other big routers must not stop the forward
+	if p.Journey != nil {
+		// A sampled journey notes the in-network stop inline; the packet's
+		// head flit has one owning router per cycle, so this is shard-safe
+		// (the same discipline as the m rewrite above).
+		p.JIntercepted = true
+	}
 	if g.Tracer != nil {
 		stop := trace.Event{Cycle: now, Kind: trace.PktStop, Node: g.Node,
 			Src: m.Requestor, Dst: p.Dst, Addr: m.Addr, Detail: "GetX->FwdGetX"}

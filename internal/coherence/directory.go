@@ -173,6 +173,21 @@ func (d *Dir) send(m *Message, dst noc.NodeID, priority int) {
 	d.ni.Inject(packetFor(d.ni, m, dst, priority))
 }
 
+// relayJourney carries a tagged request's journey onto a message the home
+// sends on its behalf — the forward/probe toward the owner, the data
+// grant, the completion ack — and closes the home-service window: the
+// cycles between the request's delivery (or the previous relayed send)
+// and this send are directory-stage time, which is where L2 latency,
+// pending-queue wait behind earlier transactions and invalidation-ack
+// collection all land.
+func (d *Dir) relayJourney(resp, req *Message) {
+	if req == nil || req.Journey == nil {
+		return
+	}
+	resp.Journey = req.Journey
+	req.Journey.Remote(d.eng.Now())
+}
+
 // Receive queues a message for handling after the L2 bank latency.
 func (d *Dir) Receive(now sim.Cycle, m *Message) {
 	d.eng.Schedule(d.cfg.L2Latency-1, func() { d.handle(m) })
@@ -201,6 +216,7 @@ func (d *Dir) handle(m *Message) {
 		req := &Message{
 			Type: MsgGetX, Addr: m.Addr, From: m.Requestor, Requestor: m.Requestor,
 			LockAddr: m.LockAddr, IsSwap: m.IsSwap, Operand: m.Operand, Seq: m.Seq,
+			Journey: m.Journey,
 		}
 		d.admit(ln, req)
 	case MsgInvAck:
@@ -328,7 +344,9 @@ func (d *Dir) serviceGetS(ln *dirLine, m *Message) {
 		ln.busy = true
 		ln.cur = m
 		d.txnStarted()
-		d.send(&Message{Type: MsgFwdGetS, Addr: m.Addr, Requestor: req, Data: ln.value, LockAddr: m.LockAddr, Seq: m.Seq}, ln.owner, respPriority)
+		fwd := &Message{Type: MsgFwdGetS, Addr: m.Addr, Requestor: req, Data: ln.value, LockAddr: m.LockAddr, Seq: m.Seq}
+		d.relayJourney(fwd, m)
+		d.send(fwd, ln.owner, respPriority)
 	case ln.owner == noNode && len(ln.sharers) == 0 && !m.LockAddr:
 		// Exclusive grant for ordinary cold reads. Lock-word reads are
 		// always granted Shared: an exclusive copy would let the first
@@ -338,10 +356,14 @@ func (d *Dir) serviceGetS(ln *dirLine, m *Message) {
 		ln.cur = m
 		d.txnStarted()
 		ln.owner = req
-		d.send(&Message{Type: MsgData, Addr: m.Addr, Data: ln.value, Requestor: req, Excl: true, Seq: m.Seq}, req, respPriority)
+		grant := &Message{Type: MsgData, Addr: m.Addr, Data: ln.value, Requestor: req, Excl: true, Seq: m.Seq}
+		d.relayJourney(grant, m)
+		d.send(grant, req, respPriority)
 	default:
 		ln.sharers[req] = struct{}{}
-		d.send(&Message{Type: MsgData, Addr: m.Addr, Data: ln.value, Requestor: req, Peek: m.LockAddr, Seq: m.Seq}, req, respPriority)
+		grant := &Message{Type: MsgData, Addr: m.Addr, Data: ln.value, Requestor: req, Peek: m.LockAddr, Seq: m.Seq}
+		d.relayJourney(grant, m)
+		d.send(grant, req, respPriority)
 	}
 }
 
@@ -388,7 +410,9 @@ func (d *Dir) serviceGetX(ln *dirLine, m *Message) {
 	if m.IsSwap && ln.owner == noNode && ln.value == m.Operand {
 		d.Stats.SwapFails++
 		ln.sharers[req] = struct{}{}
-		d.send(&Message{Type: MsgData, Addr: m.Addr, Data: ln.value, Requestor: req, Peek: true, Seq: m.Seq}, req, respPriority)
+		fail := &Message{Type: MsgData, Addr: m.Addr, Data: ln.value, Requestor: req, Peek: true, Seq: m.Seq}
+		d.relayJourney(fail, m)
+		d.send(fail, req, respPriority)
 		return
 	}
 	if m.IsSwap && ln.owner != noNode && ln.owner != req {
@@ -402,14 +426,18 @@ func (d *Dir) serviceGetX(ln *dirLine, m *Message) {
 		ln.busy = true
 		ln.cur = m
 		d.txnStarted()
-		d.send(&Message{Type: MsgLockProbe, Addr: m.Addr, Requestor: req, Operand: m.Operand, LockAddr: m.LockAddr, Seq: m.Seq}, ln.owner, respPriority)
+		probe := &Message{Type: MsgLockProbe, Addr: m.Addr, Requestor: req, Operand: m.Operand, LockAddr: m.LockAddr, Seq: m.Seq}
+		d.relayJourney(probe, m)
+		d.send(probe, ln.owner, respPriority)
 		// An owner implies no sharers: no acks needed either way. The
 		// eager AcksComplete carries the transaction Seq: if the probe is
 		// served with a shared copy instead, this message goes unconsumed,
 		// and the Seq match is what keeps the floater from completing a
 		// later transaction by the same requester.
 		ln.owner = req
-		d.send(&Message{Type: MsgAcksComplete, Addr: m.Addr, Requestor: req, Seq: m.Seq}, req, respPriority)
+		eager := &Message{Type: MsgAcksComplete, Addr: m.Addr, Requestor: req, Seq: m.Seq}
+		d.relayJourney(eager, m)
+		d.send(eager, req, respPriority)
 		return
 	}
 
@@ -420,9 +448,13 @@ func (d *Dir) serviceGetX(ln *dirLine, m *Message) {
 
 	if ln.owner != noNode && ln.owner != req {
 		d.Stats.ForwardedGetX++
-		d.send(&Message{Type: MsgFwdGetX, Addr: m.Addr, Requestor: req, Data: ln.value, LockAddr: m.LockAddr, Seq: m.Seq}, ln.owner, respPriority)
+		fwd := &Message{Type: MsgFwdGetX, Addr: m.Addr, Requestor: req, Data: ln.value, LockAddr: m.LockAddr, Seq: m.Seq}
+		d.relayJourney(fwd, m)
+		d.send(fwd, ln.owner, respPriority)
 	} else {
-		d.send(&Message{Type: MsgDataExcl, Addr: m.Addr, Data: ln.value, Requestor: req, Peek: m.LockAddr, Seq: m.Seq}, req, respPriority)
+		grant := &Message{Type: MsgDataExcl, Addr: m.Addr, Data: ln.value, Requestor: req, Peek: m.LockAddr, Seq: m.Seq}
+		d.relayJourney(grant, m)
+		d.send(grant, req, respPriority)
 	}
 
 	for _, s := range sortedSharers(ln.sharers) {
@@ -569,11 +601,15 @@ func (d *Dir) finishAcks(ln *dirLine, addr uint64) {
 	}
 	switch ln.cur.Type {
 	case MsgGetX:
-		d.send(&Message{Type: MsgAcksComplete, Addr: addr, Requestor: ln.cur.Requestor, Seq: ln.cur.Seq}, ln.cur.Requestor, respPriority)
+		done := &Message{Type: MsgAcksComplete, Addr: addr, Requestor: ln.cur.Requestor, Seq: ln.cur.Seq}
+		d.relayJourney(done, ln.cur)
+		d.send(done, ln.cur.Requestor, respPriority)
 	case MsgPutRelease:
 		// The recall storm is over: acknowledge the releaser and free the
 		// line (no unblock follows a release).
-		d.send(&Message{Type: MsgReleaseAck, Addr: addr, Requestor: ln.cur.Requestor, Seq: ln.cur.Seq}, ln.cur.Requestor, respPriority)
+		done := &Message{Type: MsgReleaseAck, Addr: addr, Requestor: ln.cur.Requestor, Seq: ln.cur.Seq}
+		d.relayJourney(done, ln.cur)
+		d.send(done, ln.cur.Requestor, respPriority)
 		ln.busy = false
 		ln.cur = nil
 		d.txnEnded()

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"inpg/internal/cache"
+	"inpg/internal/journey"
 	"inpg/internal/noc"
 	"inpg/internal/sim"
 )
@@ -103,6 +104,12 @@ type L1 struct {
 	// seq stamps each transaction; responses must echo it (Message.Seq).
 	seq uint64
 
+	// journey, when armed (SetJourney), tags every request this L1 issues
+	// with the active lock-journey record until disarmed at acquire
+	// completion. Purely observational: it rides beside Seq and changes
+	// no protocol decision.
+	journey *journey.Record
+
 	Stats L1Stats
 }
 
@@ -138,6 +145,33 @@ func (l *L1) nextSeq() uint64 {
 	return l.seq
 }
 
+// SetJourney arms (or with nil disarms) lock-journey tagging for this
+// L1's future requests; the root package's journey lock decorator calls
+// it around each sampled acquisition.
+func (l *L1) SetJourney(r *journey.Record) { l.journey = r }
+
+// tagJourney attaches the armed journey record to an outgoing request
+// and closes the requester-side stall window at the issue milestone.
+func (l *L1) tagJourney(m *Message) {
+	if l.journey == nil {
+		return
+	}
+	m.Journey = l.journey
+	l.journey.Issue(l.eng.Now())
+}
+
+// relayJourney carries an incoming tagged probe's journey onto the
+// response it triggers and closes the remote-service window: the cycles
+// between the probe's delivery and this send are attributed to the
+// directory/owner service stage.
+func (l *L1) relayJourney(resp, req *Message) {
+	if req.Journey == nil {
+		return
+	}
+	resp.Journey = req.Journey
+	req.Journey.Remote(l.eng.Now())
+}
+
 // send wraps m in a packet and injects it.
 func (l *L1) send(m *Message, dst noc.NodeID, priority int) {
 	m.From = l.Node
@@ -171,7 +205,9 @@ func (l *L1) Load(addr uint64, lock bool, priority int, cb func(uint64)) {
 	e.State = trIS
 	e.Seq = l.nextSeq()
 	e.Aux = &pendingOp{kind: opLoad, loadCB: cb, issued: l.eng.Now(), lock: lock}
-	l.send(&Message{Type: MsgGetS, Addr: addr, Requestor: l.Node, ToDir: true, LockAddr: lock, Seq: e.Seq}, l.homes.Home(addr), priority)
+	m := &Message{Type: MsgGetS, Addr: addr, Requestor: l.Node, ToDir: true, LockAddr: lock, Seq: e.Seq}
+	l.tagJourney(m)
+	l.send(m, l.homes.Home(addr), priority)
 }
 
 // Store issues a write. cb fires when the write is globally performed.
@@ -209,7 +245,9 @@ func (l *L1) StoreRelease(addr uint64, val uint64, lock bool, priority int, cb f
 	e.State = trREL
 	e.Seq = l.nextSeq()
 	e.Aux = &pendingOp{kind: opStore, a: val, storeCB: cb, issued: l.eng.Now(), lock: lock}
-	l.send(&Message{Type: MsgPutRelease, Addr: addr, Requestor: l.Node, Data: val, ToDir: true, LockAddr: lock, Seq: e.Seq}, l.homes.Home(addr), priority)
+	m := &Message{Type: MsgPutRelease, Addr: addr, Requestor: l.Node, Data: val, ToDir: true, LockAddr: lock, Seq: e.Seq}
+	l.tagJourney(m)
+	l.send(m, l.homes.Home(addr), priority)
 }
 
 // Atomic issues a read-modify-write. All atomics are lock operations: the
@@ -248,6 +286,7 @@ func (l *L1) issueGetX(addr uint64, op *pendingOp, lockAddr bool, priority int) 
 		m.IsSwap = true
 		m.Operand = op.a
 	}
+	l.tagJourney(m)
 	l.send(m, l.homes.Home(addr), priority)
 }
 
@@ -502,7 +541,9 @@ func (l *L1) onFwdGetS(m *Message) {
 	if line := l.arr.Peek(m.Addr); line != nil {
 		line.State = cache.Shared
 	}
-	l.send(&Message{Type: MsgData, Addr: m.Addr, Data: data, Requestor: m.Requestor, Peek: m.LockAddr, Seq: m.Seq}, m.Requestor, respPriority)
+	resp := &Message{Type: MsgData, Addr: m.Addr, Data: data, Requestor: m.Requestor, Peek: m.LockAddr, Seq: m.Seq}
+	l.relayJourney(resp, m)
+	l.send(resp, m.Requestor, respPriority)
 	l.send(&Message{Type: MsgCopyBack, Addr: m.Addr, Data: data, Requestor: m.Requestor, ToDir: true, Seq: m.Seq}, l.homes.Home(m.Addr), respPriority)
 }
 
@@ -520,7 +561,9 @@ func (l *L1) onLockProbe(m *Message) {
 		if line := l.arr.Peek(m.Addr); line != nil {
 			line.State = cache.Shared
 		}
-		l.send(&Message{Type: MsgData, Addr: m.Addr, Data: data, Requestor: m.Requestor, Peek: true, Seq: m.Seq}, m.Requestor, respPriority)
+		resp := &Message{Type: MsgData, Addr: m.Addr, Data: data, Requestor: m.Requestor, Peek: true, Seq: m.Seq}
+		l.relayJourney(resp, m)
+		l.send(resp, m.Requestor, respPriority)
 		l.send(&Message{Type: MsgCopyBack, Addr: m.Addr, Data: data, Requestor: m.Requestor, ToDir: true, Seq: m.Seq}, home, respPriority)
 		return
 	}
@@ -529,7 +572,9 @@ func (l *L1) onLockProbe(m *Message) {
 		data = m.Data
 	}
 	l.arr.Invalidate(m.Addr)
-	l.send(&Message{Type: MsgDataExcl, Addr: m.Addr, Data: data, Requestor: m.Requestor, Peek: m.LockAddr, Seq: m.Seq}, m.Requestor, respPriority)
+	resp := &Message{Type: MsgDataExcl, Addr: m.Addr, Data: data, Requestor: m.Requestor, Peek: m.LockAddr, Seq: m.Seq}
+	l.relayJourney(resp, m)
+	l.send(resp, m.Requestor, respPriority)
 }
 
 // onFwdGetX yields ownership: send data+ownership to the requester and
@@ -540,7 +585,9 @@ func (l *L1) onFwdGetX(m *Message) {
 		data = m.Data
 	}
 	l.arr.Invalidate(m.Addr)
-	l.send(&Message{Type: MsgDataExcl, Addr: m.Addr, Data: data, Requestor: m.Requestor, Peek: m.LockAddr, Seq: m.Seq}, m.Requestor, respPriority)
+	resp := &Message{Type: MsgDataExcl, Addr: m.Addr, Data: data, Requestor: m.Requestor, Peek: m.LockAddr, Seq: m.Seq}
+	l.relayJourney(resp, m)
+	l.send(resp, m.Requestor, respPriority)
 }
 
 // lineOrEvictData fetches the current value from the live line or the

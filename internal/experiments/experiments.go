@@ -11,6 +11,7 @@ package experiments
 
 import (
 	"fmt"
+	"log/slog"
 	"os"
 	"strings"
 	"time"
@@ -77,6 +78,12 @@ type Options struct {
 	// MetricsSampleEvery, when positive with Metrics on, samples the
 	// registry into a per-run time series at this cycle interval.
 	MetricsSampleEvery int
+	// JourneyRate samples this fraction of critical-section acquisitions
+	// into causal lock-journey records (internal/journey). A nonzero rate
+	// implies Metrics (the per-stage histograms live in the registry);
+	// sampling never perturbs simulation results, so figures other than
+	// the latency breakdown are byte-identical at any rate.
+	JourneyRate float64
 	// ManifestDir, when set, writes one JSON run manifest per simulation
 	// (internal/manifest) into this directory, named after the sweep and
 	// the run's submission index.
@@ -113,6 +120,9 @@ type Options struct {
 	// and the monitor work unchanged); Workers and PreAttempt apply only
 	// to local execution.
 	Campaign CampaignRunner
+	// Log, when set, receives the retry machinery's structured records
+	// (runner.Policy.Log). Nil discards.
+	Log *slog.Logger
 }
 
 // CampaignRunner distributes one sweep across external executors under
@@ -202,6 +212,11 @@ func ConfigFor(p workload.Profile, mech inpg.Mechanism, lk inpg.LockKind, o Opti
 	cfg.WatchdogWindow = o.WatchdogWindow
 	cfg.Metrics = o.Metrics
 	cfg.MetricsSampleEvery = o.MetricsSampleEvery
+	cfg.JourneyRate = o.JourneyRate
+	if cfg.JourneyRate > 0 {
+		// Journey stage histograms live in the telemetry registry.
+		cfg.Metrics = true
+	}
 	if o.FaultRate > 0 {
 		cfg.Fault = fault.AtRate(o.FaultRate, o.faultSeed())
 	}
@@ -276,6 +291,7 @@ func runAllSkip(o Options, sweep string, cfgs []inpg.Config, skip func(int) bool
 		PreRun:     o.chaosPreRun(),
 		PreAttempt: o.chaosPreAttempt(),
 		Skip:       skip,
+		Log:        o.Log,
 	}
 	var prefill []*inpg.Results
 	if o.Resume != "" {

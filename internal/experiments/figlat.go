@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"inpg"
+	"inpg/internal/journey"
+	"inpg/internal/manifest"
+	"inpg/internal/metrics"
+	"inpg/internal/runner"
+	"inpg/internal/workload"
+)
+
+// LatCase is one mechanism × contention rung of the latency-breakdown
+// sweep: the mean end-to-end lock-acquisition latency and its per-stage
+// decomposition over every sampled journey of the run.
+type LatCase struct {
+	Mechanism inpg.Mechanism
+	// ParallelCycles is the mean parallel-compute gap between critical
+	// sections — the contention knob: smaller gap, hotter lock.
+	ParallelCycles int
+	// Journeys is how many sampled acquisitions the cell aggregated.
+	Journeys    uint64
+	Intercepted uint64
+	E2EMean     float64
+	// StageMean holds mean cycles per journey attributed to each stage,
+	// indexed by journey.Stage; the stage means sum to E2EMean (journey
+	// accounting is exact).
+	StageMean [journey.NumStages]float64
+	// Reason is empty for a completed run, otherwise the cell's failure
+	// cause.
+	Reason string
+}
+
+// LatResult is the full latency-breakdown sweep: where each mechanism's
+// lock-acquisition cycles go — thread stall, injection queueing, VC wait,
+// link traversal, big-router interception, directory service, retries —
+// as contention climbs. This is the observability companion to the
+// paper's LCO argument: iNPG's win should appear specifically as shrunken
+// directory-stage time.
+type LatResult struct {
+	Program string
+	Threads int
+	Lock    inpg.LockKind
+	Rate    float64
+	Gaps    []int
+	// Cases is mechanism-major: for each mechanism, one case per gap.
+	Cases   []LatCase
+	Missing []Missing
+}
+
+// latGaps returns the contention ladder (mean parallel-compute cycles
+// between critical sections, descending = rising contention).
+func latGaps(quick bool) []int {
+	if quick {
+		return []int{2000, 200}
+	}
+	return []int{3000, 1000, 300, 100}
+}
+
+// LatencyBreakdown sweeps the four mechanisms across a contention ladder
+// with journey tracing on and aggregates each cell's per-stage latency
+// attribution. Options.JourneyRate selects the sampling fraction (<= 0
+// defaults to 1: every acquisition journey-traced). Results and the
+// non-journey metric instruments are identical to an untraced sweep —
+// sampling is observability, never perturbation.
+func LatencyBreakdown(o Options) (*LatResult, error) {
+	p, err := workload.ByName("freqmine")
+	if err != nil {
+		return nil, err
+	}
+	if o.JourneyRate <= 0 {
+		o.JourneyRate = 1
+	}
+	gaps := latGaps(o.Quick)
+	r := &LatResult{Program: p.ShortName, Lock: inpg.LockQSL, Rate: o.JourneyRate, Gaps: gaps}
+
+	var cfgs []inpg.Config
+	var cases []LatCase
+	for _, mech := range inpg.Mechanisms {
+		for _, gap := range gaps {
+			cfg := ConfigFor(p, mech, r.Lock, o)
+			cfg.ParallelCycles = gap
+			cfg.ParallelJitter = gap / 3
+			cfgs = append(cfgs, cfg)
+			cases = append(cases, LatCase{Mechanism: mech, ParallelCycles: gap})
+		}
+	}
+	r.Threads = cfgs[0].MeshWidth * cfgs[0].MeshHeight
+
+	// The journey aggregates ride the metric snapshot, which runAll's
+	// result vector does not carry — capture per-cell snapshots through
+	// the observer chain. Each index is written at most once, from the
+	// worker goroutine that owns the cell, so a plain slice is safe.
+	snaps := make([]*metrics.Snapshot, len(cfgs))
+	inner := o.Observer
+	o.Observer = func(out runner.Outcome) {
+		if out.Done && out.Snapshot != nil {
+			snaps[out.Index] = out.Snapshot
+		}
+		if inner != nil {
+			inner(out)
+		}
+	}
+	results, missing, err := runAll(o, "lat", cfgs)
+	if err != nil {
+		return nil, err
+	}
+	r.Missing = missing
+	for _, m := range missing {
+		cases[m.Index].Reason = string(m.Cause)
+	}
+	for i := range cases {
+		c := &cases[i]
+		if results[i] == nil && c.Reason == "" {
+			continue
+		}
+		js := manifest.JourneyFromSnapshot(snaps[i])
+		if js == nil || js.Completed == 0 {
+			continue
+		}
+		c.Journeys = js.Completed
+		c.Intercepted = js.Intercepted
+		n := float64(js.Completed)
+		c.E2EMean = float64(js.E2E.Sum) / n
+		for st, stage := range journey.Stages {
+			c.StageMean[st] = float64(js.Stages[stage.String()].Sum) / n
+		}
+	}
+	r.Cases = cases
+	return r, nil
+}
+
+// Render prints the latency-breakdown figure: a per-stage mean-cycles
+// table plus proportional stacked bars, one row per mechanism × gap.
+func (r *LatResult) Render() string {
+	var b strings.Builder
+	header(&b, fmt.Sprintf("Latency breakdown: %s lock-journey stages vs contention (%d threads, %s, rate %.2f)",
+		r.Program, r.Threads, r.Lock, r.Rate))
+	fmt.Fprintf(&b, "%-11s %6s %9s %9s", "mechanism", "gap", "journeys", "e2e")
+	for _, st := range journey.Stages {
+		fmt.Fprintf(&b, " %9s", st)
+	}
+	b.WriteString("\n")
+	for _, c := range r.Cases {
+		fmt.Fprintf(&b, "%-11s %6d", c.Mechanism, c.ParallelCycles)
+		if c.Reason != "" {
+			fmt.Fprintf(&b, " %9s\n", "["+c.Reason+"]")
+			continue
+		}
+		fmt.Fprintf(&b, " %9d %9.1f", c.Journeys, c.E2EMean)
+		for _, v := range c.StageMean {
+			fmt.Fprintf(&b, " %9.1f", v)
+		}
+		b.WriteString("\n")
+	}
+
+	// Stacked bars: each row scaled to the sweep's largest mean E2E, one
+	// letter per stage (legend below), so the eye can compare both the
+	// absolute journey length and where it went.
+	maxE2E := 0.0
+	for _, c := range r.Cases {
+		if c.E2EMean > maxE2E {
+			maxE2E = c.E2EMean
+		}
+	}
+	if maxE2E > 0 {
+		const width = 60
+		letters := [journey.NumStages]byte{'s', 'n', 'v', 'l', 'B', 'D', 'r'}
+		b.WriteString("\nstacked per-stage shares (s=stall n=ni_queue v=vc_wait l=link B=bigrouter D=directory r=retry):\n")
+		for _, c := range r.Cases {
+			if c.Reason != "" || c.Journeys == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "%-11s %6d |", c.Mechanism, c.ParallelCycles)
+			total := 0
+			for st, v := range c.StageMean {
+				n := int(v / maxE2E * width)
+				b.WriteString(strings.Repeat(string(letters[st]), n))
+				total += n
+			}
+			b.WriteString(strings.Repeat(" ", width-total))
+			b.WriteString("|\n")
+		}
+	}
+	renderMissing(&b, r.Missing)
+	return b.String()
+}

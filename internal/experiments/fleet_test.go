@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"bytes"
+	"log/slog"
 	"net/http/httptest"
 	"sync"
 	"testing"
@@ -10,6 +12,18 @@ import (
 	"inpg/internal/manifest"
 	"inpg/internal/runner"
 )
+
+// testLogger routes structured fleet logs into the test log.
+func testLogger(t *testing.T) *slog.Logger {
+	return slog.New(slog.NewTextHandler(testLogWriter{t}, nil))
+}
+
+type testLogWriter struct{ t *testing.T }
+
+func (w testLogWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", bytes.TrimRight(p, "\n"))
+	return len(p), nil
+}
 
 // startFleet serves a coordinator over loopback HTTP with n real workers
 // and returns it with a teardown that shuts the fleet down cleanly.
@@ -23,7 +37,7 @@ func startFleet(t *testing.T, cfg fleet.Config, n int, worker fleet.WorkerConfig
 		w.Coordinator = srv.URL
 		w.ID = string(rune('a'+i)) + "-worker"
 		w.PollInterval = 2 * time.Millisecond
-		w.Logf = t.Logf
+		w.Log = testLogger(t)
 		wk := fleet.NewWorker(w)
 		wg.Add(1)
 		go func() {
@@ -69,7 +83,7 @@ func TestFleetChaosKillByteIdentical(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	coord := fleet.NewCoordinator(fleet.Config{LeaseTTL: 300 * time.Millisecond, Logf: t.Logf})
+	coord := fleet.NewCoordinator(fleet.Config{LeaseTTL: 300 * time.Millisecond, Log: testLogger(t)})
 	srv := httptest.NewServer(coord)
 	defer srv.Close()
 
@@ -78,9 +92,9 @@ func TestFleetChaosKillByteIdentical(t *testing.T) {
 	killed := make(chan struct{})
 	victim := fleet.NewWorker(fleet.WorkerConfig{Coordinator: srv.URL, ID: "victim",
 		PollInterval: 2 * time.Millisecond, ChaosKillAfter: 2,
-		Exit: func(int) { close(killed) }, Logf: t.Logf})
+		Exit: func(int) { close(killed) }, Log: testLogger(t)})
 	survivor := fleet.NewWorker(fleet.WorkerConfig{Coordinator: srv.URL, ID: "survivor",
-		PollInterval: 2 * time.Millisecond, Logf: t.Logf})
+		PollInterval: 2 * time.Millisecond, Log: testLogger(t)})
 	var wg sync.WaitGroup
 	wg.Add(2)
 	go func() { defer wg.Done(); victim.Run() }()

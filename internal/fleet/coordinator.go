@@ -4,12 +4,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sort"
 	"sync"
 	"time"
 
 	"inpg"
+	"inpg/internal/metrics"
 	"inpg/internal/runner"
 )
 
@@ -42,9 +44,10 @@ type Config struct {
 	// manifests are written by the same observer plumbing local sweeps
 	// use, not by the coordinator itself.
 	ManifestDir string
-	// Logf, when set, receives one summary line per campaign and
-	// infrastructure warnings. Nil discards them.
-	Logf func(format string, args ...any)
+	// Log, when set, receives structured records: one summary per
+	// campaign and infrastructure warnings, tagged with sweep, cell,
+	// worker and digest where applicable. Nil discards them.
+	Log *slog.Logger
 	// Now overrides the clock (tests); nil selects time.Now.
 	Now func() time.Time
 }
@@ -89,6 +92,10 @@ type workerInfo struct {
 	lastSeen  time.Time
 	completed int
 	failed    int
+	// snap is the latest metric snapshot the worker attached to a
+	// heartbeat — its most recent completed cell's telemetry, the live
+	// component of the coordinator's /metrics view.
+	snap *metrics.Snapshot
 }
 
 // campaign is one sweep's dispatch ledger.
@@ -114,6 +121,7 @@ type campaign struct {
 // CampaignRunner interface (RunCampaign).
 type Coordinator struct {
 	cfg Config
+	log *slog.Logger
 
 	mu       sync.Mutex
 	camp     *campaign
@@ -125,6 +133,11 @@ type Coordinator struct {
 	// Fleet-lifetime counters for the dashboard (campaign-scoped copies
 	// live on the campaign for the journal).
 	totReclaims, totDuplicates, totLate, totQuarantined, totConflicts int
+
+	// counters aggregates the telemetry snapshots of every accepted
+	// successful completion across campaigns (metrics.FoldSnapshot
+	// naming), served on /metrics.
+	counters map[string]uint64
 }
 
 // NewCoordinator builds a coordinator ready to serve workers; campaigns
@@ -136,10 +149,16 @@ func NewCoordinator(cfg Config) *Coordinator {
 	if cfg.QuarantineAfter <= 0 {
 		cfg.QuarantineAfter = DefaultQuarantineAfter
 	}
+	log := cfg.Log
+	if log == nil {
+		log = discardLog
+	}
 	return &Coordinator{
-		cfg:     cfg,
-		leases:  map[string]*lease{},
-		workers: map[string]*workerInfo{},
+		cfg:      cfg,
+		log:      log,
+		leases:   map[string]*lease{},
+		workers:  map[string]*workerInfo{},
+		counters: map[string]uint64{},
 	}
 }
 
@@ -148,12 +167,6 @@ func (c *Coordinator) now() time.Time {
 		return c.cfg.Now()
 	}
 	return time.Now()
-}
-
-func (c *Coordinator) logf(format string, args ...any) {
-	if c.cfg.Logf != nil {
-		c.cfg.Logf(format, args...)
-	}
 }
 
 // Shutdown orders the fleet down: subsequent lease polls answer
@@ -242,13 +255,15 @@ func (c *Coordinator) RunCampaign(sweep string, cfgs []inpg.Config, p runner.Pol
 	workerCount := len(camp.workerCompleted)
 	c.mu.Unlock()
 
-	c.logf("[fleet: %s done: cells=%d skipped=%d workers=%d reclaimed=%d quarantined=%d duplicates=%d late=%d conflicts=%d]",
-		sweep, len(camp.cells), camp.skipped, workerCount, camp.reclaims,
-		len(camp.quarantined), camp.duplicates, camp.lateAccepts, camp.conflicts)
+	c.log.Info("campaign done",
+		"sweep", sweep, "cells", len(camp.cells), "skipped", camp.skipped,
+		"workers", workerCount, "reclaimed", camp.reclaims,
+		"quarantined", len(camp.quarantined), "duplicates", camp.duplicates,
+		"late_accepts", camp.lateAccepts, "digest_conflicts", camp.conflicts)
 
 	if c.cfg.ManifestDir != "" {
 		if _, err := WriteJournal(c.cfg.ManifestDir, c.journal(camp)); err != nil {
-			c.logf("[fleet: %s: journal write failed: %v]", sweep, err)
+			c.log.Error("journal write failed", "sweep", sweep, "err", err)
 		}
 	}
 
@@ -390,6 +405,8 @@ func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		c.handleComplete(w, r)
 	case PathStatus:
 		writeJSON(w, c.Status())
+	case PathMetrics:
+		c.handleMetrics(w, r)
 	case PathHealthz:
 		writeJSON(w, map[string]string{"status": "ok"})
 	default:
@@ -464,7 +481,10 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	c.mu.Lock()
-	c.touchWorkerLocked(req.Worker)
+	wi := c.touchWorkerLocked(req.Worker)
+	if req.Snapshot != nil {
+		wi.snap = req.Snapshot
+	}
 	var emit *runner.Outcome
 	var obs runner.Observer
 	resp := HeartbeatResponse{}
@@ -517,8 +537,9 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 		camp.conflicts++
 		c.totConflicts++
 		c.mu.Unlock()
-		c.logf("[fleet: %s/%d: rejected completion from %s: digest %s, want %s]",
-			rep.Sweep, rep.Index, rep.Worker, rep.Digest, cl.digest)
+		c.log.Warn("rejected completion: digest mismatch",
+			"sweep", rep.Sweep, "cell", rep.Index, "worker", rep.Worker,
+			"digest", rep.Digest, "want", cl.digest)
 		http.Error(w, "digest mismatch", http.StatusConflict)
 		return
 	}
@@ -560,6 +581,7 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 			camp.workerCompleted[rep.Worker]++
 			wi.completed++
 			camp.remaining--
+			metrics.FoldSnapshot(c.counters, rep.Snapshot)
 			emit = append(emit, runner.Outcome{Index: rep.Index, Worker: wi.num,
 				Done: true, Status: runner.StatusOK, Attempt: rep.Attempt,
 				Cfg: cl.cfg, Res: rep.Res, Snapshot: rep.Snapshot,
@@ -642,6 +664,48 @@ func (c *Coordinator) Status() Status {
 	}
 	sort.Slice(st.Workers, func(i, j int) bool { return st.Workers[i].Num < st.Workers[j].Num })
 	return st
+}
+
+// handleMetrics serves the coordinator's telemetry in the Prometheus
+// text exposition format: cumulative counters folded from every accepted
+// successful completion (inpg_<instrument>), fleet dispatch gauges
+// (inpg_fleet_*), and a live view summed across each worker's latest
+// heartbeat snapshot (inpg_live_<instrument>).
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	c.mu.Lock()
+	counters := make(map[string]uint64, len(c.counters))
+	for k, v := range c.counters {
+		counters[k] = v
+	}
+	gauges := map[string]float64{
+		"fleet.leases_outstanding": float64(len(c.leases)),
+		"fleet.workers":            float64(len(c.workers)),
+		"fleet.reclaims":           float64(c.totReclaims),
+		"fleet.duplicates":         float64(c.totDuplicates),
+		"fleet.late_accepts":       float64(c.totLate),
+		"fleet.quarantined":        float64(c.totQuarantined),
+		"fleet.digest_conflicts":   float64(c.totConflicts),
+	}
+	if c.camp != nil {
+		done := 0
+		for _, cl := range c.camp.cells {
+			if cl.state == cellDone {
+				done++
+			}
+		}
+		gauges["fleet.cells"] = float64(len(c.camp.cells))
+		gauges["fleet.cells_done"] = float64(done)
+	}
+	live := map[string]uint64{}
+	for _, wi := range c.workers {
+		metrics.FoldSnapshot(live, wi.snap)
+	}
+	c.mu.Unlock()
+	for k, v := range live {
+		gauges["live."+k] = float64(v)
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	metrics.WritePrometheus(w, counters, gauges)
 }
 
 // writeJSON serializes a response body.

@@ -3,17 +3,32 @@ package fleet
 import (
 	"bytes"
 	"encoding/json"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"inpg"
+	"inpg/internal/metrics"
 	"inpg/internal/runner"
 )
+
+// testLogger routes structured fleet logs into the test log.
+func testLogger(t *testing.T) *slog.Logger {
+	return slog.New(slog.NewTextHandler(testLogWriter{t}, nil))
+}
+
+type testLogWriter struct{ t *testing.T }
+
+func (w testLogWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", bytes.TrimRight(p, "\n"))
+	return len(p), nil
+}
 
 // clock is a manually advanced time source for deterministic lease
 // expiry tests.
@@ -340,7 +355,7 @@ func TestWorkerFleetMatchesLocalRun(t *testing.T) {
 	var wg sync.WaitGroup
 	for _, id := range []string{"w1", "w2"} {
 		w := NewWorker(WorkerConfig{Coordinator: srv.URL, ID: id,
-			PollInterval: 2 * time.Millisecond, Logf: t.Logf})
+			PollInterval: 2 * time.Millisecond, Log: testLogger(t)})
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -381,7 +396,7 @@ func TestWorkerChaosKillTriggersReclaim(t *testing.T) {
 	killed := make(chan struct{})
 	victim := NewWorker(WorkerConfig{Coordinator: srv.URL, ID: "victim",
 		PollInterval: 2 * time.Millisecond, ChaosKillAfter: 1,
-		Exit: func(int) { close(killed) }, Logf: t.Logf})
+		Exit: func(int) { close(killed) }, Log: testLogger(t)})
 	victimDone := make(chan struct{})
 	go func() {
 		victim.Run()
@@ -391,7 +406,7 @@ func TestWorkerChaosKillTriggersReclaim(t *testing.T) {
 	<-victimDone
 
 	survivor := NewWorker(WorkerConfig{Coordinator: srv.URL, ID: "survivor",
-		PollInterval: 2 * time.Millisecond, Logf: t.Logf})
+		PollInterval: 2 * time.Millisecond, Log: testLogger(t)})
 	done := make(chan struct{})
 	go func() {
 		survivor.Run()
@@ -425,7 +440,7 @@ func TestWorkerChaosDropResendsAndDedups(t *testing.T) {
 	wait := startCampaign(t, c, "drop", cfgs, runner.Policy{})
 
 	w := NewWorker(WorkerConfig{Coordinator: srv.URL, ID: "dropper",
-		PollInterval: 2 * time.Millisecond, ChaosDropRate: 1, Logf: t.Logf})
+		PollInterval: 2 * time.Millisecond, ChaosDropRate: 1, Log: testLogger(t)})
 	done := make(chan struct{})
 	go func() {
 		w.Run()
@@ -465,7 +480,7 @@ func TestWorkerDrainFinishesInFlightCell(t *testing.T) {
 	wait := startCampaign(t, c, "drain", cfgs, p)
 
 	w = NewWorker(WorkerConfig{Coordinator: srv.URL, ID: "drainer",
-		PollInterval: 2 * time.Millisecond, Logf: t.Logf})
+		PollInterval: 2 * time.Millisecond, Log: testLogger(t)})
 	done := make(chan struct{})
 	go func() {
 		w.Run()
@@ -514,6 +529,87 @@ func TestJournalRoundTripAndValidate(t *testing.T) {
 	} {
 		if err := bad.Validate(); err == nil {
 			t.Fatalf("journal %+v validated", bad)
+		}
+	}
+}
+
+// TestCoordinatorMetricsEndpoint: worker heartbeats carry metric
+// snapshots that surface as live gauges, accepted completions fold into
+// cumulative counters, and both render on /metrics in Prometheus text
+// exposition format alongside the fleet dispatch gauges.
+func TestCoordinatorMetricsEndpoint(t *testing.T) {
+	c := NewCoordinator(Config{LeaseTTL: time.Minute})
+	srv := httptest.NewServer(c)
+	defer srv.Close()
+	cfgs := tinyCfgs(1)
+	wait := startCampaign(t, c, "prom", cfgs, runner.Policy{})
+
+	w := &fakeWorker{t: t, url: srv.URL, id: "worker-m"}
+	l := w.lease()
+	if l == nil {
+		t.Fatal("no lease")
+	}
+	snap := &metrics.Snapshot{
+		Values:     []metrics.KV{{Name: "journey.completed", Value: 7}},
+		Histograms: []metrics.HistSummary{{Name: "journey.e2e_cycles", Count: 7, Sum: 350}},
+	}
+	var hb HeartbeatResponse
+	w.post(PathHeartbeat, HeartbeatRequest{Worker: w.id, LeaseID: l.ID, Snapshot: snap}, &hb)
+	if !hb.OK {
+		t.Fatalf("heartbeat = %+v", hb)
+	}
+
+	page := func() string {
+		resp, err := http.Get(srv.URL + PathMetrics)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var b bytes.Buffer
+		if _, err := b.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+
+	// Before any completion: the heartbeat snapshot shows up as live
+	// gauges; no cumulative counters yet.
+	got := page()
+	for _, want := range []string{
+		"# TYPE inpg_live_journey_completed gauge",
+		"inpg_live_journey_completed 7",
+		"inpg_live_journey_e2e_cycles_sum 350",
+		"inpg_fleet_cells 1",
+		"inpg_fleet_leases_outstanding 1",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "# TYPE inpg_journey_completed counter") {
+		t.Fatalf("/metrics has cumulative counters before any completion:\n%s", got)
+	}
+
+	// An accepted completion's snapshot folds into the cumulative
+	// counters.
+	rep := CompletionReport{Worker: w.id, LeaseID: l.ID, Sweep: l.Sweep,
+		Index: l.Index, Digest: l.Digest, OK: true, WallSeconds: 0.01,
+		Res: &inpg.Results{Runtime: 1}, Snapshot: snap}
+	var cresp CompletionResponse
+	w.post(PathComplete, rep, &cresp)
+	if !cresp.Accepted {
+		t.Fatalf("completion = %+v", cresp)
+	}
+	wait()
+	got = page()
+	for _, want := range []string{
+		"# TYPE inpg_journey_completed counter",
+		"inpg_journey_completed 7",
+		"inpg_journey_e2e_cycles_count 7",
+		"inpg_journey_e2e_cycles_sum 350",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("/metrics missing %q after completion:\n%s", want, got)
 		}
 	}
 }

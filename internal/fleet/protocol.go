@@ -41,6 +41,11 @@ const (
 	PathComplete  = "/fleet/complete"
 	PathStatus    = "/fleet/status"
 	PathHealthz   = "/healthz"
+	// PathMetrics serves the coordinator's aggregated telemetry —
+	// campaign counters folded from accepted completions plus a live view
+	// assembled from worker heartbeat snapshots — in the Prometheus text
+	// exposition format.
+	PathMetrics = "/metrics"
 )
 
 // LeaseRequest is a worker's poll for work.
@@ -83,6 +88,12 @@ type LeaseResponse struct {
 type HeartbeatRequest struct {
 	Worker  string `json:"worker"`
 	LeaseID string `json:"lease_id"`
+	// Snapshot, when present, is the worker's most recent completed-cell
+	// metric snapshot, piggybacked on the heartbeat so the coordinator
+	// can serve a live fleet-wide telemetry view on /metrics without a
+	// separate reporting channel. Purely observational: the coordinator
+	// never acts on it.
+	Snapshot *metrics.Snapshot `json:"snapshot,omitempty"`
 }
 
 // HeartbeatResponse acknowledges a heartbeat. Gone reports that the lease

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"log/slog"
 	"net/http"
 	"os"
 	"strings"
@@ -13,8 +14,12 @@ import (
 	"sync/atomic"
 	"time"
 
+	"inpg/internal/metrics"
 	"inpg/internal/runner"
 )
+
+// discardLog swallows structured logs when no logger is configured.
+var discardLog = slog.New(slog.NewTextHandler(io.Discard, nil))
 
 // Worker defaults.
 const (
@@ -61,8 +66,10 @@ type WorkerConfig struct {
 	// Exit is called to kill the process on chaos kill (default
 	// os.Exit); tests inject a recorder so the "kill" stays in-process.
 	Exit func(code int)
-	// Logf, when set, receives worker lifecycle lines. Nil discards.
-	Logf func(format string, args ...any)
+	// Log, when set, receives structured worker lifecycle records; every
+	// record carries a "worker" attribute and lease-scoped records add
+	// cell/lease/digest. Nil discards.
+	Log *slog.Logger
 	// HTTPClient overrides the transport (tests); nil selects a plain
 	// http.Client.
 	HTTPClient *http.Client
@@ -76,12 +83,18 @@ type WorkerConfig struct {
 type Worker struct {
 	cfg    WorkerConfig
 	client *http.Client
+	log    *slog.Logger
 
 	draining atomic.Bool
 	killed   atomic.Bool
 
 	leasesAcquired atomic.Int64
 	completed      atomic.Int64
+
+	// lastSnap caches the most recent completed cell's metric snapshot;
+	// heartbeats attach it so the coordinator's /metrics endpoint has a
+	// live fleet-wide telemetry view.
+	lastSnap atomic.Pointer[metrics.Snapshot]
 }
 
 // NewWorker builds a worker; Run starts it.
@@ -116,7 +129,11 @@ func NewWorker(cfg WorkerConfig) *Worker {
 	if client == nil {
 		client = &http.Client{}
 	}
-	return &Worker{cfg: cfg, client: client}
+	log := cfg.Log
+	if log == nil {
+		log = discardLog
+	}
+	return &Worker{cfg: cfg, client: client, log: log.With("worker", cfg.ID)}
 }
 
 // ID returns the worker's fleet identity.
@@ -131,18 +148,12 @@ func (w *Worker) Completed() int64 { return w.completed.Load() }
 // in-flight work is delivered. Safe to call from a signal handler.
 func (w *Worker) Drain() {
 	if w.draining.CompareAndSwap(false, true) {
-		w.logf("[worker %s: draining: finishing leased cells, declining new ones]", w.cfg.ID)
+		w.log.Info("draining: finishing leased cells, declining new ones")
 	}
 }
 
 // Draining reports whether Drain was called.
 func (w *Worker) Draining() bool { return w.draining.Load() }
-
-func (w *Worker) logf(format string, args ...any) {
-	if w.cfg.Logf != nil {
-		w.cfg.Logf(format, args...)
-	}
-}
 
 // Run serves leases until the coordinator orders shutdown, Drain
 // finishes the in-flight cells, or chaos kills the worker. It blocks for
@@ -172,18 +183,18 @@ func (w *Worker) slotLoop(slot int) {
 			connectFails++
 			d := reconnectDelay(connectFails, w.cfg.ReconnectBase, w.cfg.ReconnectMax)
 			if connectFails == 1 || connectFails%10 == 0 {
-				w.logf("[worker %s: coordinator unreachable (%d tries): %v; retrying in %v]",
-					w.cfg.ID, connectFails, err, d)
+				w.log.Warn("coordinator unreachable; retrying",
+					"tries", connectFails, "err", err, "retry_in", d)
 			}
 			time.Sleep(d)
 			continue
 		}
 		if connectFails > 0 {
-			w.logf("[worker %s: coordinator reachable again after %d tries]", w.cfg.ID, connectFails)
+			w.log.Info("coordinator reachable again", "tries", connectFails)
 			connectFails = 0
 		}
 		if resp.Shutdown {
-			w.logf("[worker %s: coordinator ordered shutdown]", w.cfg.ID)
+			w.log.Info("coordinator ordered shutdown")
 			return
 		}
 		if resp.Lease == nil {
@@ -195,8 +206,8 @@ func (w *Worker) slotLoop(slot int) {
 			// Die holding the lease: no completion, no more heartbeats —
 			// the coordinator's reclaim machinery must recover the cell.
 			w.killed.Store(true)
-			w.logf("[worker %s: chaos kill holding lease %s (cell %d)]",
-				w.cfg.ID, resp.Lease.ID, resp.Lease.Index)
+			w.log.Warn("chaos kill holding lease",
+				"lease", resp.Lease.ID, "cell", resp.Lease.Index)
 			w.cfg.Exit(1)
 			return
 		}
@@ -218,9 +229,13 @@ func (w *Worker) execute(l *Lease) {
 	res, snap, wall, attempt, rerr := runner.RunOne(l.Config, runner.Policy{
 		Retries:    l.Retries,
 		RunTimeout: time.Duration(l.RunTimeoutNanos),
+		Log:        w.log.With("cell", l.Index, "digest", l.Digest),
 	})
 	close(stopHB)
 	hbWG.Wait()
+	if snap != nil {
+		w.lastSnap.Store(snap)
+	}
 
 	rep := CompletionReport{
 		Worker: w.cfg.ID, LeaseID: l.ID, Sweep: l.Sweep, Index: l.Index,
@@ -251,13 +266,16 @@ func (w *Worker) heartbeatLoop(l *Lease, stop chan struct{}) {
 			return
 		case <-t.C:
 			var resp HeartbeatResponse
-			status, err := w.postJSON(PathHeartbeat, HeartbeatRequest{Worker: w.cfg.ID, LeaseID: l.ID}, &resp)
+			status, err := w.postJSON(PathHeartbeat, HeartbeatRequest{
+				Worker: w.cfg.ID, LeaseID: l.ID,
+				Snapshot: w.lastSnap.Load(),
+			}, &resp)
 			if err != nil || status/100 != 2 {
 				continue // transient; the next tick retries
 			}
 			if resp.Gone {
-				w.logf("[worker %s: lease %s gone (cell %d reclaimed); finishing anyway]",
-					w.cfg.ID, l.ID, l.Index)
+				w.log.Info("lease gone (cell reclaimed); finishing anyway",
+					"lease", l.ID, "cell", l.Index)
 				return
 			}
 		}
@@ -276,7 +294,8 @@ func (w *Worker) deliver(l *Lease, rep CompletionReport) {
 		status, err := w.postJSON(PathComplete, rep, &resp)
 		switch {
 		case err == nil && status == http.StatusConflict:
-			w.logf("[worker %s: completion for cell %d rejected: digest conflict]", w.cfg.ID, l.Index)
+			w.log.Error("completion rejected: digest conflict",
+				"cell", l.Index, "digest", rep.Digest)
 			return
 		case err != nil || status/100 != 2:
 			connectFails++
@@ -288,11 +307,11 @@ func (w *Worker) deliver(l *Lease, rep CompletionReport) {
 			// Chaos: the report arrived but the acknowledgement is "lost";
 			// resend and let the coordinator dedup.
 			dropOnce = false
-			w.logf("[worker %s: chaos drop of completion ack for lease %s; resending]", w.cfg.ID, l.ID)
+			w.log.Warn("chaos drop of completion ack; resending", "lease", l.ID)
 			continue
 		}
 		if resp.Duplicate {
-			w.logf("[worker %s: completion for cell %d was a duplicate (first write won)]", w.cfg.ID, l.Index)
+			w.log.Info("completion was a duplicate (first write won)", "cell", l.Index)
 		}
 		return
 	}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"inpg"
 	"inpg/internal/metrics"
@@ -23,7 +24,13 @@ import (
 // v2 added failure records: status, cause class, attempt, config digest
 // and the diagnostics summary. v3 added the network switching-activity
 // summary field and the estimate manifest kind (analytic pre-screening).
-const SchemaVersion = 3
+// v4 added the lock-journey summary (per-stage latency attribution);
+// Validate still accepts v3 manifests, which predate journeys.
+const SchemaVersion = 4
+
+// minSchemaVersion is the oldest layout Validate accepts: v3 manifests
+// on disk stay resumable, they just carry no journey summary.
+const minSchemaVersion = 3
 
 // Kind is the detailed-run manifest's type tag.
 const Kind = "inpg-run-manifest"
@@ -134,9 +141,64 @@ type Manifest struct {
 	// metered).
 	Metrics *metrics.Snapshot `json:"metrics,omitempty"`
 
+	// Journey summarizes the run's sampled lock journeys (schema v4).
+	// Present only when the run was journey-traced with metrics on; the
+	// per-stage histogram summaries are lifted out of the snapshot's
+	// journey.* instruments so a figure's latency breakdown is auditable
+	// from the manifest alone.
+	Journey *JourneySummary `json:"journey,omitempty"`
+
 	// Estimate is present on EstimateKind manifests only: the analytic
 	// model's answer for this cell and the model's recorded error bounds.
 	Estimate *EstimateRecord `json:"estimate,omitempty"`
+}
+
+// JourneySummary aggregates a run's sampled lock journeys: how many
+// completed, how many saw a big-router interception, and the end-to-end
+// plus per-stage cycle histograms. For a well-formed record the stage
+// sums add up to the end-to-end sum exactly (journey accounting is exact
+// by construction); Validate enforces it within one cycle per journey of
+// rounding slack.
+type JourneySummary struct {
+	Completed   uint64 `json:"completed"`
+	Intercepted uint64 `json:"intercepted"`
+	Dropped     uint64 `json:"dropped"`
+
+	E2E    metrics.HistSummary            `json:"e2e_cycles"`
+	Stages map[string]metrics.HistSummary `json:"stage_cycles"`
+}
+
+// JourneyFromSnapshot lifts a JourneySummary out of a metric snapshot's
+// journey.* instruments; nil when the run was not journey-traced.
+func JourneyFromSnapshot(snap *metrics.Snapshot) *JourneySummary {
+	if snap == nil {
+		return nil
+	}
+	js := &JourneySummary{Stages: make(map[string]metrics.HistSummary)}
+	present := false
+	for _, kv := range snap.Values {
+		switch kv.Name {
+		case "journey.completed":
+			js.Completed, present = kv.Value, true
+		case "journey.intercepted":
+			js.Intercepted = kv.Value
+		case "journey.dropped":
+			js.Dropped = kv.Value
+		}
+	}
+	for _, h := range snap.Histograms {
+		switch {
+		case h.Name == "journey.e2e_cycles":
+			js.E2E, present = h, true
+		case strings.HasPrefix(h.Name, "journey.stage."):
+			stage := strings.TrimSuffix(strings.TrimPrefix(h.Name, "journey.stage."), "_cycles")
+			js.Stages[stage] = h
+		}
+	}
+	if !present {
+		return nil
+	}
+	return js
 }
 
 // EstimateBound is one metric's recorded relative error level (mean and
@@ -180,6 +242,7 @@ func Build(sweep string, index int, cfg inpg.Config, res *inpg.Results, snap *me
 		WallSeconds:   wallSeconds,
 		Status:        StatusOK,
 		Metrics:       snap,
+		Journey:       JourneyFromSnapshot(snap),
 	}
 	if runErr != nil {
 		m.Status = StatusFailed
@@ -283,8 +346,10 @@ func (m *Manifest) ToResults() *inpg.Results {
 // CI and the tests run instead of an external JSON-schema tool.
 func (m *Manifest) Validate() error {
 	switch {
-	case m.SchemaVersion != SchemaVersion:
-		return fmt.Errorf("manifest: schema_version %d, want %d", m.SchemaVersion, SchemaVersion)
+	case m.SchemaVersion < minSchemaVersion || m.SchemaVersion > SchemaVersion:
+		return fmt.Errorf("manifest: schema_version %d, want %d..%d", m.SchemaVersion, minSchemaVersion, SchemaVersion)
+	case m.SchemaVersion < 4 && m.Journey != nil:
+		return fmt.Errorf("manifest: journey summary on schema_version %d (needs 4)", m.SchemaVersion)
 	case m.Kind != Kind && m.Kind != EstimateKind:
 		return fmt.Errorf("manifest: kind %q, want %q or %q", m.Kind, Kind, EstimateKind)
 	case m.Sweep == "":
@@ -341,7 +406,35 @@ func (m *Manifest) Validate() error {
 			}
 		}
 	}
+	if js := m.Journey; js != nil {
+		if js.E2E.Count != js.Completed {
+			return fmt.Errorf("manifest: journey e2e histogram has %d samples, %d journeys completed",
+				js.E2E.Count, js.Completed)
+		}
+		var stageSum uint64
+		for name, h := range js.Stages {
+			if h.Count != js.Completed {
+				return fmt.Errorf("manifest: journey stage %q has %d samples, %d journeys completed",
+					name, h.Count, js.Completed)
+			}
+			stageSum += h.Sum
+		}
+		// Per-stage cycles must account for the end-to-end latency: exact
+		// by construction, with one cycle per journey of rounding slack.
+		if diff := absDiff(stageSum, js.E2E.Sum); diff > js.Completed {
+			return fmt.Errorf("manifest: journey stage cycles %d do not sum to e2e %d (diff %d > %d journeys)",
+				stageSum, js.E2E.Sum, diff, js.Completed)
+		}
+	}
 	return nil
+}
+
+// absDiff returns |a-b| without underflow.
+func absDiff(a, b uint64) uint64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
 }
 
 // Canonical returns the manifest with its nondeterministic field zeroed,

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"testing"
 
+	"inpg/internal/journey"
 	"inpg/internal/sim"
 	"inpg/internal/stats"
 	"inpg/internal/trace"
@@ -189,6 +190,78 @@ func TestWriteChromeTraceStructure(t *testing.T) {
 	}
 }
 
+// Journey records export as nested spans on the journeys process: one
+// parent per record, one child per leg, contained in time, and a nil
+// recorder leaves the output byte-identical to WriteChromeTrace.
+func TestWriteChromeTraceJourneyspans(t *testing.T) {
+	r := &journey.Record{Thread: 3, Acquire: 7}
+	r.Begin(100)
+	r.Issue(105)                              // 5 cycles stall
+	r.FoldLeg(125, 3, 12, 4, 6, 3, 0, false)  // request leg
+	r.Remote(140)                             // directory service
+	r.FoldLeg(160, 12, 3, 4, 2, 0, 5, false)  // response leg
+	r.Finish(163)
+	rec := journey.NewRecorder(0)
+	rec.Finish(r)
+
+	var buf bytes.Buffer
+	if err := WriteChromeTraceJourneys(&buf, nil, nil, rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateChromeTrace(buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Ts   uint64 `json:"ts"`
+			Dur  uint64 `json:"dur"`
+			Pid  int    `json:"pid"`
+			Tid  int    `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	var parents, legs int
+	for _, e := range out.TraceEvents {
+		if e.Ph != "X" || e.Pid != pidJourneys {
+			continue
+		}
+		if e.Tid != 3 {
+			t.Fatalf("journey span on tid %d, want 3", e.Tid)
+		}
+		if e.Name == "journey #7" {
+			parents++
+			if e.Ts != 100 || e.Dur != 63 {
+				t.Fatalf("parent span = %+v", e)
+			}
+		} else {
+			legs++
+			if e.Ts < 100 || e.Ts+e.Dur > 163 {
+				t.Fatalf("leg span %+v escapes its journey", e)
+			}
+		}
+	}
+	if parents != 1 || legs != 2 {
+		t.Fatalf("parents = %d legs = %d, want 1 and 2", parents, legs)
+	}
+
+	// nil recorder ≡ the journey-less writer, byte for byte.
+	var plain, nilRec bytes.Buffer
+	events := []trace.Event{{Cycle: 5, Kind: trace.PktInject, Node: 1}}
+	if err := WriteChromeTrace(&plain, events, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChromeTraceJourneys(&nilRec, events, nil, journey.NewRecorder(0)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain.Bytes(), nilRec.Bytes()) {
+		t.Fatal("empty recorder changed trace bytes")
+	}
+}
+
 func TestValidateChromeTraceRejects(t *testing.T) {
 	if err := ValidateChromeTrace([]byte("not json")); err == nil {
 		t.Fatal("accepted invalid JSON")
@@ -205,5 +278,16 @@ func TestValidateChromeTraceRejects(t *testing.T) {
 		{"name":"b","ph":"i","ts":5,"pid":1,"tid":0}]}`)
 	if err := ValidateChromeTrace(backwards); err == nil {
 		t.Fatal("accepted nonmonotonic ts")
+	}
+	overlap := []byte(`{"traceEvents":[
+		{"name":"a","ph":"X","ts":0,"dur":10,"pid":4,"tid":0},
+		{"name":"b","ph":"X","ts":5,"dur":10,"pid":4,"tid":0}]}`)
+	if err := ValidateChromeTrace(overlap); err == nil {
+		t.Fatal("accepted partially overlapping spans")
+	}
+	negative := []byte(`{"traceEvents":[
+		{"name":"a","ph":"X","ts":0,"dur":-3,"pid":4,"tid":0}]}`)
+	if err := ValidateChromeTrace(negative); err == nil {
+		t.Fatal("accepted negative duration")
 	}
 }

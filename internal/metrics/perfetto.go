@@ -10,16 +10,19 @@ import (
 	"io"
 	"sort"
 
+	"inpg/internal/journey"
 	"inpg/internal/trace"
 )
 
 // Process IDs in the exported trace: protocol events render one thread
-// row per mesh node, lock events one row per competing thread, and each
-// sampled metric becomes its own counter track.
+// row per mesh node, lock events one row per competing thread, each
+// sampled metric becomes its own counter track, and sampled lock
+// journeys render one row per thread with per-leg child spans.
 const (
-	pidNodes   = 1
-	pidThreads = 2
-	pidMetrics = 3
+	pidNodes    = 1
+	pidThreads  = 2
+	pidMetrics  = 3
+	pidJourneys = 4
 )
 
 // chromeEvent is one trace-event JSON object. Field order follows the
@@ -46,6 +49,15 @@ type chromeTrace struct {
 // trace-event JSON. Either input may be empty/nil. Events are emitted in
 // nondecreasing ts order.
 func WriteChromeTrace(w io.Writer, events []trace.Event, sampler *Sampler) error {
+	return WriteChromeTraceJourneys(w, events, sampler, nil)
+}
+
+// WriteChromeTraceJourneys is WriteChromeTrace plus lock-journey spans:
+// each finished journey record becomes a complete ("X") span on the
+// journeys process (one row per thread), with one nested child span per
+// network leg. A nil or empty recorder produces output byte-identical to
+// WriteChromeTrace.
+func WriteChromeTraceJourneys(w io.Writer, events []trace.Event, sampler *Sampler, journeys *journey.Recorder) error {
 	var out []chromeEvent
 
 	// Lock sessions: pair each node's acquire with its following release
@@ -85,6 +97,52 @@ func WriteChromeTrace(w io.Writer, events []trace.Event, sampler *Sampler) error
 		})
 	}
 
+	// Lock journeys: one parent span per sampled acquisition, one child
+	// span per network leg. Legs are attributed inside the parent window
+	// by construction (the record's cursor is monotonic), so containment
+	// — which is what makes Perfetto render them nested — always holds.
+	haveJourneys := false
+	if journeys != nil {
+		for _, r := range journeys.Records {
+			if !r.Finished() {
+				continue
+			}
+			haveJourneys = true
+			stages := make(map[string]any, len(journey.Stages))
+			for _, st := range journey.Stages {
+				stages[st.String()] = r.Stages[st]
+			}
+			out = append(out, chromeEvent{
+				Name: fmt.Sprintf("journey #%d", r.Acquire),
+				Ph:   "X", Ts: uint64(r.Start), Dur: uint64(r.End - r.Start),
+				Pid: pidJourneys, Tid: r.Thread,
+				Args: map[string]any{
+					"acquire":     r.Acquire,
+					"hops":        r.Hops,
+					"legs":        r.LegCount,
+					"intercepted": r.Intercepted,
+					"stages":      stages,
+				},
+			})
+			for _, l := range r.Legs {
+				out = append(out, chromeEvent{
+					Name: fmt.Sprintf("leg %d->%d", l.Src, l.Dst),
+					Ph:   "X", Ts: uint64(l.Start), Dur: uint64(l.End - l.Start),
+					Pid: pidJourneys, Tid: r.Thread,
+					Args: map[string]any{
+						"hops":        l.Hops,
+						"ni_queue":    l.NIQueue,
+						"vc_wait":     l.VCWait,
+						"link":        l.Link,
+						"bigrouter":   l.BigRouter,
+						"retry":       l.Retry,
+						"intercepted": l.Intercepted,
+					},
+				})
+			}
+		}
+	}
+
 	// Sampled series: one counter track per instrument.
 	if sampler != nil {
 		for _, s := range sampler.Series {
@@ -107,6 +165,9 @@ func WriteChromeTrace(w io.Writer, events []trace.Event, sampler *Sampler) error
 		processName(pidThreads, "threads (lock sessions)"),
 		processName(pidMetrics, "metrics"),
 	}
+	if haveJourneys {
+		meta = append(meta, processName(pidJourneys, "lock journeys"))
+	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(chromeTrace{
 		DisplayTimeUnit: "ms",
@@ -123,9 +184,12 @@ func processName(pid int, name string) chromeEvent {
 }
 
 // ValidateChromeTrace structurally checks an exported .trace.json: it must
-// be valid JSON, every event must carry name/ph/pid/tid, and timestamps of
-// non-metadata events must be nondecreasing. This is the checker the tests
-// and CI run against generated traces.
+// be valid JSON, every event must carry name/ph/pid/tid, timestamps of
+// non-metadata events must be nondecreasing, durations must be
+// nonnegative, and complete ("X") spans sharing a row must be properly
+// nested — a span either contains or is disjoint from every other span on
+// its (pid, tid), never partially overlapping. This is the checker the
+// tests, CI, and inpgvalidate run against generated traces.
 func ValidateChromeTrace(data []byte) error {
 	var t struct {
 		TraceEvents []map[string]json.RawMessage `json:"traceEvents"`
@@ -137,6 +201,13 @@ func ValidateChromeTrace(data []byte) error {
 		return fmt.Errorf("trace: no events")
 	}
 	lastTs := -1.0
+	// open tracks, per (pid, tid) row, the end timestamps of X spans that
+	// are still open at the cursor — a containment stack. Events arrive
+	// sorted by ts, so a new span on a row must either start at or after
+	// the innermost open span's end (disjoint: pop it) or end within it
+	// (nested: push).
+	type row struct{ pid, tid float64 }
+	open := make(map[row][]float64)
 	for i, e := range t.TraceEvents {
 		for _, key := range []string{"name", "ph", "pid", "tid"} {
 			if _, ok := e[key]; !ok {
@@ -162,6 +233,35 @@ func ValidateChromeTrace(data []byte) error {
 			return fmt.Errorf("trace: event %d ts %v before %v", i, ts, lastTs)
 		}
 		lastTs = ts
+		if ph != "X" {
+			continue
+		}
+		var dur float64
+		if raw, ok := e["dur"]; ok {
+			if err := json.Unmarshal(raw, &dur); err != nil {
+				return fmt.Errorf("trace: event %d dur: %w", i, err)
+			}
+			if dur < 0 {
+				return fmt.Errorf("trace: event %d has negative dur %v", i, dur)
+			}
+		}
+		var pid, tid float64
+		if err := json.Unmarshal(e["pid"], &pid); err != nil {
+			return fmt.Errorf("trace: event %d pid: %w", i, err)
+		}
+		if err := json.Unmarshal(e["tid"], &tid); err != nil {
+			return fmt.Errorf("trace: event %d tid: %w", i, err)
+		}
+		k := row{pid, tid}
+		stack := open[k]
+		for len(stack) > 0 && stack[len(stack)-1] <= ts {
+			stack = stack[:len(stack)-1]
+		}
+		if end := ts + dur; len(stack) > 0 && end > stack[len(stack)-1] {
+			return fmt.Errorf("trace: event %d [%v, %v) partially overlaps an enclosing span ending at %v on pid %v tid %v",
+				i, ts, end, stack[len(stack)-1], pid, tid)
+		}
+		open[k] = append(stack, ts+dur)
 	}
 	return nil
 }

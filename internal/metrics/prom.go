@@ -1,0 +1,76 @@
+// Prometheus text-exposition export: renders aggregated counters and
+// gauges in the text format Prometheus scrapes, under the inpg_
+// namespace. The sweep monitor and the fleet coordinator serve it on
+// /metrics, which is what makes a long campaign's telemetry — including
+// the per-stage lock-journey instruments — visible to standard
+// dashboards without any new dependency.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// PromName maps an instrument name onto the Prometheus metric-name
+// alphabet: dots and any other illegal characters become underscores and
+// the inpg_ namespace is prefixed ("journey.stage.vc_wait_cycles" →
+// "inpg_journey_stage_vc_wait_cycles").
+func PromName(name string) string {
+	var b strings.Builder
+	b.WriteString("inpg_")
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// FoldSnapshot accumulates a run's final snapshot into an aggregate
+// counter map: every counter value adds under its own name, and every
+// histogram contributes <name>_count and <name>_sum. Max and quantiles
+// do not aggregate additively and are left to the per-run artifacts.
+// The sweep monitor and the fleet coordinator both fold completed runs
+// through this, so their /metrics endpoints agree on naming.
+func FoldSnapshot(dst map[string]uint64, snap *Snapshot) {
+	if snap == nil {
+		return
+	}
+	for _, kv := range snap.Values {
+		dst[kv.Name] += kv.Value
+	}
+	for _, h := range snap.Histograms {
+		dst[h.Name+"_count"] += h.Count
+		dst[h.Name+"_sum"] += h.Sum
+	}
+}
+
+// WritePrometheus renders counters (monotonic aggregates) and gauges
+// (instantaneous values) in the Prometheus text exposition format,
+// sorted by name for stable output. Either map may be nil.
+func WritePrometheus(w io.Writer, counters map[string]uint64, gauges map[string]float64) {
+	names := make([]string, 0, len(counters))
+	for name := range counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := PromName(name)
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, counters[name])
+	}
+	names = names[:0]
+	for name := range gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := PromName(name)
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", pn, pn, gauges[name])
+	}
+}

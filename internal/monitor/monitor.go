@@ -23,6 +23,8 @@ import (
 	"time"
 
 	"inpg/internal/fleet"
+	"inpg/internal/journey"
+	"inpg/internal/metrics"
 	"inpg/internal/runner"
 )
 
@@ -126,7 +128,8 @@ func (m *Monitor) SetFleet(fn func() fleet.Status) {
 
 // Serve starts the HTTP server on addr (e.g. ":8080") and returns the
 // bound address. Endpoints: / (plain-text progress), /vars (JSON),
-// /events (SSE), /debug/pprof/ (profiling).
+// /metrics (Prometheus text exposition), /events (SSE), /debug/pprof/
+// (profiling).
 func (m *Monitor) Serve(addr string) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -135,6 +138,7 @@ func (m *Monitor) Serve(addr string) (string, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", m.handleText)
 	mux.HandleFunc("/vars", m.handleVars)
+	mux.HandleFunc("/metrics", m.handleMetrics)
 	mux.HandleFunc("/events", m.handleEvents)
 	mux.HandleFunc("/healthz", m.handleHealthz)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -240,11 +244,10 @@ func (m *Monitor) apply(o runner.Outcome) {
 		cut++
 	}
 	m.recent = m.recent[cut:]
-	if o.Snapshot != nil {
-		for _, kv := range o.Snapshot.Values {
-			m.counters[kv.Name] += kv.Value
-		}
-	}
+	// Counter values and histogram count/sum aggregates both fold in, so
+	// the journey stage histograms survive aggregation (per-stage means
+	// are derivable from <name>_sum / <name>_count).
+	metrics.FoldSnapshot(m.counters, o.Snapshot)
 }
 
 // statusLocked assembles the public Status. Caller holds mu.
@@ -298,6 +301,39 @@ func (m *Monitor) handleVars(w http.ResponseWriter, _ *http.Request) {
 	enc.Encode(m.Status())
 }
 
+// handleMetrics serves the monitor's state in the Prometheus text
+// exposition format: the aggregated telemetry counters of completed runs
+// (inpg_<instrument>, histograms as _count/_sum pairs) plus sweep
+// progress gauges (inpg_sweep_*) and, on fleet campaigns, the
+// coordinator's dispatch gauges (inpg_fleet_*).
+func (m *Monitor) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	st := m.Status()
+	gauges := map[string]float64{
+		"sweep.completed":       float64(st.Completed),
+		"sweep.failed":          float64(st.Failed),
+		"sweep.in_flight":       float64(st.InFlight),
+		"sweep.retried":         float64(st.Retried),
+		"sweep.quarantined":     float64(st.Quarantined),
+		"sweep.skipped":         float64(st.Skipped),
+		"sweep.abandoned":       float64(st.Abandoned),
+		"sweep.elapsed_seconds": st.ElapsedSeconds,
+		"sweep.runs_per_second": st.RunsPerSecond,
+	}
+	if fs := st.Fleet; fs != nil {
+		gauges["fleet.cells"] = float64(fs.Cells)
+		gauges["fleet.cells_done"] = float64(fs.Completed)
+		gauges["fleet.leases_outstanding"] = float64(fs.LeasesOutstanding)
+		gauges["fleet.workers"] = float64(len(fs.Workers))
+		gauges["fleet.reclaims"] = float64(fs.Reclaims)
+		gauges["fleet.duplicates"] = float64(fs.Duplicates)
+		gauges["fleet.late_accepts"] = float64(fs.LateAccepts)
+		gauges["fleet.quarantined"] = float64(fs.Quarantined)
+		gauges["fleet.digest_conflicts"] = float64(fs.DigestConflicts)
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	metrics.WritePrometheus(w, st.Counters, gauges)
+}
+
 // handleText serves the human-readable progress page.
 func (m *Monitor) handleText(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Path != "/" {
@@ -331,6 +367,22 @@ func (m *Monitor) handleText(w http.ResponseWriter, r *http.Request) {
 			fmt.Fprintf(&b, "fleet worker %-24s last seen %5.1fs ago, %d leases held, %d completed, %d failed\n",
 				fw.ID, fw.LastSeenSeconds, fw.Leases, fw.Completed, fw.Failed)
 		}
+	}
+	// Lock-journey stage breakdown: aggregated per-stage attribution over
+	// every sampled acquisition of every completed run (journey tracing
+	// on), with each stage's share of the mean end-to-end latency.
+	if n := st.Counters["journey.e2e_cycles_count"]; n > 0 {
+		e2e := st.Counters["journey.e2e_cycles_sum"]
+		fmt.Fprintf(&b, "\nlock-journey stage breakdown (%d sampled acquisitions, mean cycles per stage):\n", n)
+		for _, stg := range journey.Stages {
+			sum := st.Counters["journey.stage."+stg.String()+"_cycles_sum"]
+			pct := 0.0
+			if e2e > 0 {
+				pct = 100 * float64(sum) / float64(e2e)
+			}
+			fmt.Fprintf(&b, "  %-10s %12.1f  %5.1f%%\n", stg, float64(sum)/float64(n), pct)
+		}
+		fmt.Fprintf(&b, "  %-10s %12.1f\n", "e2e", float64(e2e)/float64(n))
 	}
 	if len(st.Counters) > 0 {
 		names := make([]string, 0, len(st.Counters))

@@ -302,3 +302,62 @@ func TestMonitorGracefulCloseNoLeaks(t *testing.T) {
 		time.Sleep(5 * time.Millisecond)
 	}
 }
+
+// TestMonitorPrometheusAndJourneyBreakdown: completed runs' snapshots —
+// counter values and histogram count/sum aggregates — surface on
+// /metrics in Prometheus text exposition format with sweep progress
+// gauges, and journey-traced runs add the per-stage breakdown block to
+// the text dashboard.
+func TestMonitorPrometheusAndJourneyBreakdown(t *testing.T) {
+	m := New()
+	addr, err := m.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	obs := m.Observer()
+	snap := &metrics.Snapshot{
+		Values: []metrics.KV{{Name: "journey.completed", Value: 5}},
+		Histograms: []metrics.HistSummary{
+			{Name: "journey.e2e_cycles", Count: 5, Sum: 1000},
+			{Name: "journey.stage.stall_cycles", Count: 5, Sum: 600},
+			{Name: "journey.stage.directory_cycles", Count: 5, Sum: 400},
+		},
+	}
+	feed(obs, 0, 0, nil, snap)
+	feed(obs, 0, 1, nil, snap)
+	waitFor(t, m, func(st Status) bool { return st.Completed == 2 })
+
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prom := readAll(t, resp)
+	for _, want := range []string{
+		"# TYPE inpg_journey_completed counter",
+		"inpg_journey_completed 10",
+		"inpg_journey_e2e_cycles_count 10",
+		"inpg_journey_e2e_cycles_sum 2000",
+		"inpg_journey_stage_stall_cycles_sum 1200",
+		"# TYPE inpg_sweep_completed gauge",
+		"inpg_sweep_completed 2",
+	} {
+		if !strings.Contains(prom, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, prom)
+		}
+	}
+
+	resp, err = http.Get("http://" + addr + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	page := readAll(t, resp)
+	if !strings.Contains(page, "lock-journey stage breakdown (10 sampled acquisitions") {
+		t.Fatalf("dashboard missing journey breakdown:\n%s", page)
+	}
+	// stall: 1200 cycles over 10 journeys = 120.0 mean, 60% of e2e.
+	if !strings.Contains(page, "stall") || !strings.Contains(page, "120.0") ||
+		!strings.Contains(page, "60.0%") {
+		t.Fatalf("stage line wrong:\n%s", page)
+	}
+}

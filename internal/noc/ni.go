@@ -225,6 +225,9 @@ func (ni *NI) Tick(now sim.Cycle) {
 // sendFlit pushes the next flit of an in-flight injection into local VC v.
 func (ni *NI) sendFlit(now sim.Cycle, v int, inj *injection) {
 	p := inj.pkt
+	if p.Journey != nil && inj.next == 0 {
+		p.JNIQueue = uint64(now - p.InjectedAt)
+	}
 	f := flit{pkt: p, idx: inj.next, tail: inj.next == p.Size-1}
 	consumed := ni.r.acceptFlit(now, Local, v, f)
 	if consumed || f.tail {
@@ -276,6 +279,13 @@ func (ni *NI) flushDeliveries() {
 		p.DeliveredAt = ni.eng.Now()
 		ni.Delivered++
 		ni.Add(p.DeliveredAt - p.InjectedAt)
+		if p.Journey != nil {
+			// Fold this leg into its journey before the sink can retag the
+			// record for a response; flushDeliveries is an ordinary event,
+			// so the record mutation happens off the sharded tick pass.
+			p.Journey.FoldLeg(p.DeliveredAt, int(p.Src), int(p.Dst), p.Hops,
+				p.JNIQueue, p.JVCWait, p.JRetry, p.JIntercepted)
+		}
 		if ni.OnDeliver != nil {
 			ni.OnDeliver(p)
 		}

@@ -3,6 +3,7 @@ package noc
 import (
 	"fmt"
 
+	"inpg/internal/journey"
 	"inpg/internal/sim"
 )
 
@@ -58,6 +59,25 @@ type Packet struct {
 	InjectedAt  sim.Cycle
 	DeliveredAt sim.Cycle
 	Hops        int
+
+	// Journey, when non-nil, ties this packet to a sampled lock-journey
+	// record (internal/journey). The J* counters below are written inline
+	// by the NI and routers only when Journey is set; like Hops they are
+	// shard-safe because a packet's head flit has exactly one owning
+	// router per cycle. The record itself is only touched from event
+	// context (delivery), never from the sharded tick pass.
+	Journey *journey.Record
+	// JNIQueue is cycles the packet waited in the NI injection queue
+	// before its head flit entered the mesh.
+	JNIQueue uint64
+	// JVCWait accumulates head-flit buffered-wait cycles across hops
+	// (inclusive of retransmission backoff; JRetry carves that out).
+	JVCWait uint64
+	// JRetry accumulates link-retransmission backoff cycles.
+	JRetry uint64
+	// JIntercepted marks that a big router stopped and converted this
+	// packet in-network.
+	JIntercepted bool
 }
 
 func (p *Packet) String() string {

@@ -434,11 +434,25 @@ func (r *Router) traverse(now sim.Cycle, p Port, v int) {
 					}
 				}
 			} else {
-				vc.nextTry = now + r.net.fault.Backoff(vc.retries)
+				backoff := r.net.fault.Backoff(vc.retries)
+				vc.nextTry = now + backoff
+				if f.pkt.Journey != nil {
+					f.pkt.JRetry += uint64(backoff)
+				}
 			}
 			return
 		}
 		vc.retries = 0
+	}
+	if f.pkt.Journey != nil && f.head() {
+		// Head-flit residency in this input VC beyond the mandatory
+		// pipeline cycle is contention: time lost to switch allocation,
+		// credit stalls and retransmission backoff (JRetry carves the
+		// backoff share back out at fold time). Counted on every hop,
+		// including the final Local ejection.
+		if wait := uint64(now - f.bufferedAt); wait > 1 {
+			f.pkt.JVCWait += wait - 1
+		}
 	}
 	// Shift down instead of reslicing: vc.buf[1:] would strand the front
 	// capacity and force append to reallocate on nearly every arrival (the

@@ -3,11 +3,16 @@ package runner
 import (
 	"context"
 	"hash/fnv"
+	"io"
+	"log/slog"
 	"time"
 
 	"inpg"
 	"inpg/internal/metrics"
 )
+
+// discardLog swallows structured logs when no Policy.Log is configured.
+var discardLog = slog.New(slog.NewTextHandler(io.Discard, nil))
 
 // Default backoff bounds for Policy. The base is long enough to let a
 // transient host hiccup (page cache pressure, a co-scheduled burst) pass,
@@ -55,6 +60,19 @@ type Policy struct {
 	// panic to exercise a crashing cell through the full retry and
 	// quarantine path.
 	PreAttempt func(i, attempt int)
+	// Log, when non-nil, receives structured records for the failure
+	// machinery — one per failed attempt, tagged with cell, digest,
+	// attempt and cause — so a long sweep's retries and quarantines are
+	// diagnosable after the fact. Nil discards.
+	Log *slog.Logger
+}
+
+// logger returns the policy's structured logger, or a discarder.
+func (p Policy) logger() *slog.Logger {
+	if p.Log != nil {
+		return p.Log
+	}
+	return discardLog
 }
 
 // Backoff returns the delay before retry `attempt` (1-based: attempt 0 is
@@ -149,6 +167,9 @@ func RunOne(cfg inpg.Config, p Policy) (*inpg.Results, *metrics.Snapshot, float6
 		if rerr == nil {
 			break
 		}
+		p.logger().Warn("attempt failed",
+			"digest", digest, "attempt", attempt, "cause", string(rerr.Cause),
+			"retries_left", p.Retries-attempt, "err", rerr.Err)
 	}
 	if attempt > p.Retries {
 		attempt = p.Retries
@@ -201,6 +222,12 @@ func RunResilient(cfgs []inpg.Config, p Policy) ([]*inpg.Results, []*RunError) {
 				status = StatusQuarantined
 			case rerr != nil:
 				status = StatusFailed
+			}
+			if rerr != nil {
+				p.logger().Warn("attempt failed",
+					"cell", i, "digest", digest, "attempt", attempt,
+					"cause", string(rerr.Cause), "status", string(status),
+					"err", rerr.Err)
 			}
 			if p.Observer != nil {
 				var err error

@@ -5,6 +5,7 @@ import (
 
 	"inpg/internal/coherence"
 	"inpg/internal/cpu"
+	"inpg/internal/journey"
 	"inpg/internal/metrics"
 	"inpg/internal/noc"
 	"inpg/internal/sim"
@@ -54,6 +55,55 @@ func (l *metricsLock) Release(t *cpu.Thread, done func()) {
 	l.haveRelease = true
 	l.inner.Release(t, done)
 }
+
+// journeyLock decorates the lock with causal journey tracing: each
+// acquisition the keyed-hash sampler selects gets a journey record armed
+// on the thread's L1 for the duration of the acquire, so every request
+// the acquire issues — and every response, probe and completion ack the
+// network and the home send on its behalf — attributes its cycles to a
+// typed stage. Like metricsLock the decorator adds no simulated time and
+// consumes no randomness; an unsampled (or rate-0) run is cycle- and
+// byte-identical to one without the decorator installed.
+type journeyLock struct {
+	inner cpu.Lock
+	eng   *sim.Engine
+	l1s   []*coherence.L1
+	rec   *journey.Recorder
+	rate  float64
+	seed  int64
+
+	// active holds each thread's in-flight sampled record; nil while the
+	// thread's current acquisition is unsampled (or none is in flight).
+	active []*journey.Record
+}
+
+func (l *journeyLock) Name() string { return l.inner.Name() }
+
+func (l *journeyLock) Acquire(t *cpu.Thread, done func()) {
+	if t.ID < len(l.active) && journey.Sampled(l.seed, t.ID, uint64(t.AcquireCount), l.rate) {
+		r := &journey.Record{Thread: t.ID, Acquire: uint64(t.AcquireCount)}
+		r.Begin(l.eng.Now())
+		l.active[t.ID] = r
+		l.l1s[t.ID].SetJourney(r)
+	}
+	l.inner.Acquire(t, func() {
+		if t.ID < len(l.active) {
+			if r := l.active[t.ID]; r != nil {
+				// Disarm before the thread proceeds into its critical
+				// section: CS and release traffic belongs to no journey.
+				// Tagged packets still in flight (a floating eager ack)
+				// no-op against the finished record.
+				l.active[t.ID] = nil
+				l.l1s[t.ID].SetJourney(nil)
+				r.Finish(l.eng.Now())
+				l.rec.Finish(r)
+			}
+		}
+		done()
+	})
+}
+
+func (l *journeyLock) Release(t *cpu.Thread, done func()) { l.inner.Release(t, done) }
 
 // buildMetrics constructs the telemetry registry and registers every
 // subsystem's instruments: reader closures over the plain Stats structs
@@ -292,6 +342,20 @@ func (s *System) buildMetrics() {
 	if s.lockHold != nil {
 		reg.Histogram("lock.hold_cycles", s.lockHold)
 		reg.Histogram("lock.handoff_cycles", s.lockHandoff)
+	}
+
+	// Journey tracing (registered only when sampling is armed, the same
+	// conditional discipline as the shard.* block: a rate-0 snapshot stays
+	// byte-identical to one taken before the journey subsystem existed).
+	if s.journeys != nil {
+		rec := s.journeys
+		reg.Counter("journey.completed", func() uint64 { return rec.Completed })
+		reg.Counter("journey.intercepted", func() uint64 { return rec.InterceptedCount })
+		reg.Counter("journey.dropped", func() uint64 { return rec.Dropped })
+		reg.Histogram("journey.e2e_cycles", s.journeyE2E)
+		for i, st := range journey.Stages {
+			reg.Histogram("journey.stage."+st.String()+"_cycles", s.journeyStage[i])
+		}
 	}
 }
 
