@@ -50,9 +50,9 @@ func newLogger(level string) *slog.Logger {
 // the first interrupt) drains gracefully — the leased cells finish, new
 // ones are declined; a second signal kills the worker immediately, which
 // is exactly the failure the coordinator's lease reclaim recovers from.
-func runWorker(log *slog.Logger, url string, slots, killAfter int, dropRate float64, seed int64) {
+func runWorker(log *slog.Logger, url, token string, slots, killAfter int, dropRate float64, seed int64) {
 	w := fleet.NewWorker(fleet.WorkerConfig{
-		Coordinator: url, Slots: slots,
+		Coordinator: url, Token: token, Slots: slots,
 		ChaosKillAfter: killAfter, ChaosDropRate: dropRate, ChaosSeed: seed,
 		Log: log,
 	})
@@ -126,6 +126,8 @@ func main() {
 		fleetGrace = flag.Duration("fleet-grace", 3*time.Second, "how long the coordinator keeps answering polls with a shutdown order after the last sweep, so workers exit cleanly")
 		chKill     = flag.Int("chaos-kill-after", 0, "worker: die holding the Nth acquired lease without completing it (chaos testing)")
 		chDrop     = flag.Float64("chaos-drop-rate", 0, "worker: probability a completion acknowledgement is deterministically dropped and the report resent (chaos testing)")
+		fleetTok   = flag.String("fleet-token", "", "shared bearer secret for all /fleet/* endpoints: the coordinator requires it, workers send it (/healthz stays open)")
+		chKillCoor = flag.Int("chaos-kill-coordinator-after", 0, "coordinator: crash immediately after granting the Nth lease (chaos testing); restart against the same -manifest-dir to replay the campaign WAL and adopt the outstanding leases")
 	)
 	flag.Parse()
 	logger := newLogger(*logLvl)
@@ -133,7 +135,7 @@ func main() {
 	// Pure worker mode: no figures, no sweeps — serve the coordinator
 	// until it orders shutdown or SIGTERM drains us.
 	if *workerURL != "" && *coordAddr == "" {
-		runWorker(logger, *workerURL, runner.Workers(*workers), *chKill, *chDrop, *seed)
+		runWorker(logger, *workerURL, *fleetTok, runner.Workers(*workers), *chKill, *chDrop, *seed)
 		return
 	}
 
@@ -189,10 +191,12 @@ func main() {
 		o.Observer = mon.Observer()
 		defer mon.Close()
 	}
+	var coord *fleet.Coordinator
 	if *coordAddr != "" {
-		coord := fleet.NewCoordinator(fleet.Config{
+		coord = fleet.NewCoordinator(fleet.Config{
 			LeaseTTL: *leaseTTL, QuarantineAfter: *quarAfter,
-			ManifestDir: o.ManifestDir, Log: logger,
+			ManifestDir: o.ManifestDir, Token: *fleetTok,
+			ChaosKillAfter: *chKillCoor, Log: logger,
 		})
 		ln, err := net.Listen("tcp", *coordAddr)
 		if err != nil {
@@ -222,7 +226,7 @@ func main() {
 				target = ln.Addr().String()
 			}
 			w := fleet.NewWorker(fleet.WorkerConfig{
-				Coordinator: target, Slots: runner.Workers(*workers),
+				Coordinator: target, Token: *fleetTok, Slots: runner.Workers(*workers),
 				ChaosKillAfter: *chKill, ChaosDropRate: *chDrop, ChaosSeed: *seed,
 				Log: logger,
 			})
@@ -383,4 +387,14 @@ func main() {
 		}
 		return b.String(), nil
 	})
+
+	// A campaign whose durable journal could not be written is a failed
+	// run even when the figures rendered: the record the fleet exists to
+	// produce is missing.
+	if coord != nil {
+		if err := coord.JournalError(); err != nil {
+			fmt.Fprintln(os.Stderr, "inpgbench:", err)
+			os.Exit(1)
+		}
+	}
 }

@@ -3,8 +3,11 @@ package experiments
 import (
 	"bytes"
 	"log/slog"
+	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -186,4 +189,121 @@ func TestFleetManifestsAndResume(t *testing.T) {
 	if got.Render() != ref.Render() {
 		t.Fatalf("resumed figure differs from fleet run")
 	}
+}
+
+// TestFleetCoordinatorCrashRestartByteIdentical is the crash-safety
+// acceptance bar: the coordinator is chaos-killed mid-sweep while
+// workers hold live leases, a fresh coordinator replays the campaign
+// WAL against the same manifest dir, the surviving leases are adopted
+// (not reclaimed and redone), and the finished figure is byte-identical
+// to the single-process run. The fleet runs token-authenticated
+// end-to-end.
+func TestFleetCoordinatorCrashRestartByteIdentical(t *testing.T) {
+	ref, err := Fig2(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	// Both coordinator incarnations serve behind one URL — the swappable
+	// pointer is the test's stand-in for a restarted process reclaiming
+	// its listen address — so workers reconnect without reconfiguration.
+	var current atomic.Pointer[fleet.Coordinator]
+	a := fleet.NewCoordinator(fleet.Config{LeaseTTL: 10 * time.Second, ManifestDir: dir,
+		Token: "s3cret", ChaosKillAfter: 2, Exit: func(int) {}, Log: testLogger(t)})
+	current.Store(a)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		current.Load().ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wk := fleet.NewWorker(fleet.WorkerConfig{Coordinator: srv.URL,
+			ID: string(rune('a'+i)) + "-worker", Token: "s3cret",
+			PollInterval:  2 * time.Millisecond,
+			ReconnectBase: 2 * time.Millisecond, ReconnectMax: 10 * time.Millisecond,
+			Log: testLogger(t)})
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			wk.Run()
+		}()
+	}
+
+	// First incarnation: dies on its second grant, with that lease
+	// outstanding on a worker. The interrupted sweep reports its
+	// unresolved cells as canceled, not as results.
+	oA := tiny()
+	oA.Campaign = a
+	oA.ManifestDir = dir
+	figA, err := Fig2(oA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figA.Missing) == 0 {
+		t.Fatal("crashed campaign reported no missing cells")
+	}
+	for _, m := range figA.Missing {
+		if m.Cause != runner.CauseCanceled {
+			t.Fatalf("missing cell %d cause = %s, want canceled", m.Index, m.Cause)
+		}
+	}
+
+	// Second incarnation: same manifest dir, no chaos.
+	b := fleet.NewCoordinator(fleet.Config{LeaseTTL: 10 * time.Second, ManifestDir: dir,
+		Token: "s3cret", Log: testLogger(t)})
+	oB := tiny()
+	oB.Campaign = b
+	oB.ManifestDir = dir
+	var renderB string
+	errCh := make(chan error, 1)
+	go func() {
+		fig, err := Fig2(oB)
+		if err == nil {
+			renderB = fig.Render()
+		}
+		errCh <- err
+	}()
+	// Swap the URL over to B only once its campaign is published, so the
+	// orphaned leases are answered with adoption, never Gone.
+	deadline := time.Now().Add(30 * time.Second)
+	for b.Status().Cells == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("restarted coordinator never published the campaign")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	current.Store(b)
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+
+	if renderB != ref.Render() {
+		t.Fatalf("post-crash fleet Fig2 differs from single-process run:\n%s\nvs\n%s",
+			renderB, ref.Render())
+	}
+	st := b.Status()
+	if st.Adopted < 1 {
+		t.Fatalf("adopted = %d, want >= 1 (survivor leases must be adopted, not redone)", st.Adopted)
+	}
+	if st.Replays != 1 {
+		t.Fatalf("replays = %d, want 1", st.Replays)
+	}
+	j, err := fleet.ReadJournal(filepath.Join(dir, fleet.JournalFilename("fig2")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Adopted < 1 || j.Replays != 1 {
+		t.Fatalf("journal adopted=%d replays=%d, want >=1 / 1", j.Adopted, j.Replays)
+	}
+	rep, err := fleet.ReplayWAL(filepath.Join(dir, fleet.WALFilename("fig2")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Closed || rep.Adoptions != j.Adopted {
+		t.Fatalf("WAL closed=%v adoptions=%d vs journal %d", rep.Closed, rep.Adoptions, j.Adopted)
+	}
+	b.Shutdown()
+	wg.Wait()
 }

@@ -1,16 +1,22 @@
 package fleet
 
 import (
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"log/slog"
 	"net/http"
+	"os"
+	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"inpg"
+	"inpg/internal/manifest"
 	"inpg/internal/metrics"
 	"inpg/internal/runner"
 )
@@ -39,11 +45,31 @@ type Config struct {
 	// forever, a cell is also quarantined after 2×QuarantineAfter total
 	// failures regardless of how many workers produced them.
 	QuarantineAfter int
-	// ManifestDir, when set, receives the campaign journal
-	// (campaign-<sweep>.json) at the end of every campaign. Per-run
-	// manifests are written by the same observer plumbing local sweeps
-	// use, not by the coordinator itself.
+	// ManifestDir, when set, receives the campaign's write-ahead log
+	// (campaign-<sweep>.wal, fsynced per event) while it runs and the
+	// journal snapshot (campaign-<sweep>.json, the log's compaction) at
+	// the end. It is also what makes the coordinator crash-safe: a
+	// restarted coordinator replays the log against the manifests on
+	// disk and resumes the campaign, adopting still-held worker leases.
+	// Without a manifest dir there is no durable state and a crash loses
+	// the campaign. Per-run manifests are written by the same observer
+	// plumbing local sweeps use, not by the coordinator itself.
 	ManifestDir string
+	// Token, when non-empty, is the shared bearer secret every /fleet/*
+	// request must present (Authorization: Bearer <token>, compared in
+	// constant time). /healthz and /metrics stay open.
+	Token string
+	// ChaosKillAfter, when > 0, crashes the coordinator (via Exit)
+	// immediately after granting its Nth lease — mirroring the worker's
+	// chaos hook — to exercise WAL replay and lease adoption. The
+	// response for the Nth lease is flushed first, so the worker
+	// genuinely holds the lease across the crash.
+	ChaosKillAfter int
+	// Exit is called to kill the process on chaos crash (default
+	// os.Exit); tests inject a no-op so the "crash" stays in-process
+	// (the coordinator marks itself dead first either way: handlers
+	// answer 503 and RunCampaign returns with typed errors).
+	Exit func(code int)
 	// Log, when set, receives structured records: one summary per
 	// campaign and infrastructure warnings, tagged with sweep, cell,
 	// worker and digest where applicable. Nil discards them.
@@ -77,12 +103,17 @@ type cell struct {
 	failCount int
 }
 
-// lease is one outstanding grant.
+// lease is one outstanding grant. An orphan lease was granted by a
+// previous coordinator incarnation (reconstructed from the WAL): its
+// worker may still be running the cell, so heartbeats on it are answered
+// with Reannounce until the worker re-registers via /fleet/adopt or the
+// orphan expires and is reclaimed like any lease.
 type lease struct {
 	id      string
 	index   int
 	worker  string
 	expires time.Time
+	orphan  bool
 }
 
 // workerInfo is the coordinator's view of one worker.
@@ -109,6 +140,28 @@ type campaign struct {
 	observer   runner.Observer
 	done       chan struct{}
 
+	// wal is the campaign's write-ahead log (nil without a manifest
+	// dir, or if the log could not be opened — the campaign then runs
+	// without crash safety, which is logged).
+	wal *WAL
+	// crash is closed when the coordinator chaos-crashes mid-campaign;
+	// RunCampaign unblocks on it and returns typed errors for the
+	// unresolved cells. crashed guards the close (under Coordinator.mu).
+	crash   chan struct{}
+	crashed bool
+	// Replay bookkeeping: adopted counts leases carried across a restart
+	// (via /fleet/adopt or a completion landing on the orphan), replays
+	// is how many incarnations have run this campaign (1 + WAL restarts),
+	// replayedCells is how many cells were resolved from manifests during
+	// replay, replayGrants floors the lease sequence past the previous
+	// incarnations' grants, and replayEmit holds the StatusSkipped
+	// outcomes for replay-resolved cells (emitted at publish).
+	adopted       int
+	replays       int
+	replayedCells int
+	replayGrants  int
+	replayEmit    []runner.Outcome
+
 	reclaims, duplicates, lateAccepts, conflicts int
 	quarantined                                  []int
 	skipped                                      int
@@ -123,16 +176,34 @@ type Coordinator struct {
 	cfg Config
 	log *slog.Logger
 
+	// dead is set by a chaos crash: every handler answers 503 from then
+	// on, mirroring a killed process even when the test-injected Exit is
+	// a no-op.
+	dead atomic.Bool
+
 	mu       sync.Mutex
 	camp     *campaign
 	leases   map[string]*lease
 	workers  map[string]*workerInfo
 	leaseSeq int
 	shutdown bool
+	// published flips once the first campaign is installed. Before that,
+	// completions are answered 503 (retry) rather than Duplicate (drop):
+	// a restarted coordinator's port may be reachable before the replayed
+	// campaign is up, and a surviving worker's in-flight completion must
+	// not be discarded in that window.
+	published bool
+	// grants counts leases granted over the coordinator's lifetime — the
+	// chaos-kill trigger compares against it.
+	grants int
+	// journalErr is the typed error of the most recent campaign's journal
+	// write, nil on success (see JournalError).
+	journalErr error
 
 	// Fleet-lifetime counters for the dashboard (campaign-scoped copies
 	// live on the campaign for the journal).
 	totReclaims, totDuplicates, totLate, totQuarantined, totConflicts int
+	totAdopted, totReplays                                            int
 
 	// counters aggregates the telemetry snapshots of every accepted
 	// successful completion across campaigns (metrics.FoldSnapshot
@@ -202,6 +273,8 @@ func (c *Coordinator) RunCampaign(sweep string, cfgs []inpg.Config, p runner.Pol
 		runTimeout:      p.RunTimeout,
 		observer:        p.Observer,
 		done:            make(chan struct{}),
+		crash:           make(chan struct{}),
+		replays:         1,
 		workerCompleted: map[string]int{},
 	}
 	var skippedOutcomes []runner.Outcome
@@ -222,6 +295,11 @@ func (c *Coordinator) RunCampaign(sweep string, cfgs []inpg.Config, p runner.Pol
 		camp.cells = append(camp.cells, cl)
 	}
 
+	// Open (or replay) the write-ahead log before the campaign is
+	// visible to workers: the open/replayed record must be durable
+	// before the first grant can be.
+	orphans := c.prepareCampaignWAL(camp)
+
 	// Captured before the campaign is published: once c.camp is set,
 	// handlers mutate remaining under mu.
 	hasWork := camp.remaining > 0
@@ -232,18 +310,55 @@ func (c *Coordinator) RunCampaign(sweep string, cfgs []inpg.Config, p runner.Pol
 		panic("fleet: RunCampaign while another campaign is active")
 	}
 	c.camp = camp
+	c.published = true
+	// Re-install leases a previous incarnation granted: their workers
+	// may still be computing. They get a fresh TTL from now — if the
+	// worker is gone they expire and reclaim normally; if it is alive
+	// its next heartbeat is answered with Reannounce and the lease is
+	// adopted.
+	now := c.now()
+	for _, o := range orphans {
+		c.leases[o.Lease] = &lease{id: o.Lease, index: o.Index, worker: o.Worker,
+			expires: now.Add(c.cfg.LeaseTTL), orphan: true}
+	}
+	// Fresh lease IDs embed a sequence number; float it past every grant
+	// a previous incarnation made so IDs never collide across restarts.
+	c.leaseSeq += camp.replayGrants
+	// Fold the replayed campaign counters into the fleet-lifetime view.
+	c.totReclaims += camp.reclaims
+	c.totLate += camp.lateAccepts
+	c.totAdopted += camp.adopted
+	c.totQuarantined += len(camp.quarantined)
+	if camp.replays > 1 {
+		c.totReplays += camp.replays - 1
+	}
+	c.journalErr = nil
 	c.mu.Unlock()
+
+	if camp.replays > 1 {
+		c.log.Info("campaign replayed from wal",
+			"sweep", sweep, "replays", camp.replays, "resolved", camp.replayedCells,
+			"orphans", len(orphans), "remaining", camp.remaining)
+	}
 
 	if p.Observer != nil {
 		for _, o := range skippedOutcomes {
 			p.Observer(o)
 		}
+		for _, o := range camp.replayEmit {
+			p.Observer(o)
+		}
 	}
 
+	crashed := false
 	if hasWork {
 		stop := make(chan struct{})
 		go c.reclaimLoop(stop)
-		<-camp.done
+		select {
+		case <-camp.done:
+		case <-camp.crash:
+			crashed = true
+		}
 		close(stop)
 	}
 
@@ -255,16 +370,48 @@ func (c *Coordinator) RunCampaign(sweep string, cfgs []inpg.Config, p runner.Pol
 	workerCount := len(camp.workerCompleted)
 	c.mu.Unlock()
 
+	if crashed {
+		// The in-process equivalent of the process dying: return with
+		// typed errors for everything unresolved, leaving the WAL exactly
+		// as the crash left it (no journal, no close event) so a restart
+		// replays it.
+		results := make([]*inpg.Results, len(cfgs))
+		errs := make([]*runner.RunError, len(cfgs))
+		for i, cl := range camp.cells {
+			if cl.state == cellDone {
+				results[i], errs[i] = cl.res, cl.err
+				continue
+			}
+			errs[i] = &runner.RunError{Index: i, Cause: runner.CauseCanceled,
+				Digest: cl.digest,
+				Err:    errors.New("fleet: coordinator crashed mid-campaign")}
+		}
+		return results, errs
+	}
+
 	c.log.Info("campaign done",
 		"sweep", sweep, "cells", len(camp.cells), "skipped", camp.skipped,
 		"workers", workerCount, "reclaimed", camp.reclaims,
 		"quarantined", len(camp.quarantined), "duplicates", camp.duplicates,
-		"late_accepts", camp.lateAccepts, "digest_conflicts", camp.conflicts)
+		"late_accepts", camp.lateAccepts, "digest_conflicts", camp.conflicts,
+		"adopted", camp.adopted, "replayed", camp.replayedCells,
+		"replays", camp.replays)
 
 	if c.cfg.ManifestDir != "" {
-		if _, err := WriteJournal(c.cfg.ManifestDir, c.journal(camp)); err != nil {
+		err := c.writeJournalWithRetry(camp)
+		c.mu.Lock()
+		c.journalErr = err
+		c.mu.Unlock()
+		if err != nil {
 			c.log.Error("journal write failed", "sweep", sweep, "err", err)
+		} else {
+			// The close event seals the log only after its compaction (the
+			// journal) is durable: a closed WAL implies the journal exists.
+			c.walAppend(camp.wal, Event{Type: EventCampaignClose, Sweep: sweep})
 		}
+	}
+	if camp.wal != nil {
+		camp.wal.Close()
 	}
 
 	results := make([]*inpg.Results, len(cfgs))
@@ -273,6 +420,274 @@ func (c *Coordinator) RunCampaign(sweep string, cfgs []inpg.Config, p runner.Pol
 		results[i], errs[i] = cl.res, cl.err
 	}
 	return results, errs
+}
+
+// JournalError reports the typed failure of the most recent campaign's
+// journal write, nil when it succeeded (or no campaign wrote one).
+// Callers that need the durable record — CI, long campaigns — check it
+// after RunCampaign and treat non-nil as a hard failure.
+func (c *Coordinator) JournalError() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.journalErr
+}
+
+// JournalWriteError is the typed error surfaced when the campaign
+// journal could not be written after bounded retries.
+type JournalWriteError struct {
+	Sweep    string
+	Attempts int
+	Err      error
+}
+
+func (e *JournalWriteError) Error() string {
+	return fmt.Sprintf("fleet: journal for %s not written after %d attempts: %v",
+		e.Sweep, e.Attempts, e.Err)
+}
+
+func (e *JournalWriteError) Unwrap() error { return e.Err }
+
+// journalRetries bounds the journal write retry loop; backoff doubles
+// from journalBackoff between attempts.
+const (
+	journalRetries = 3
+	journalBackoff = 50 * time.Millisecond
+)
+
+// writeJournalWithRetry writes the campaign journal, retrying transient
+// filesystem failures with bounded backoff. The journal is the
+// campaign's only durable summary once the WAL is sealed, so a silent
+// drop is not acceptable: the final failure comes back typed.
+func (c *Coordinator) writeJournalWithRetry(camp *campaign) error {
+	var err error
+	for attempt := 0; attempt < journalRetries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(journalBackoff << (attempt - 1))
+		}
+		if _, err = WriteJournal(c.cfg.ManifestDir, c.journal(camp)); err == nil {
+			return nil
+		}
+		c.log.Warn("journal write retry", "sweep", camp.sweep,
+			"attempt", attempt+1, "err", err)
+	}
+	return &JournalWriteError{Sweep: camp.sweep, Attempts: journalRetries, Err: err}
+}
+
+// prepareCampaignWAL opens the campaign's write-ahead log, replaying a
+// previous incarnation's log first when one is present. It returns the
+// orphan leases to re-install at publish. Without a manifest dir (or if
+// the log cannot be opened) the campaign runs with camp.wal == nil:
+// fully functional, not crash-safe.
+func (c *Coordinator) prepareCampaignWAL(camp *campaign) []Orphan {
+	if c.cfg.ManifestDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(c.cfg.ManifestDir, 0o755); err != nil {
+		c.log.Error("wal disabled: manifest dir", "sweep", camp.sweep, "err", err)
+		return nil
+	}
+	path := filepath.Join(c.cfg.ManifestDir, WALFilename(camp.sweep))
+	var orphans []Orphan
+	fresh := true
+	if _, err := os.Stat(path); err == nil {
+		rep, rerr := ReplayWAL(path)
+		switch {
+		case rerr != nil:
+			// Mid-file corruption: the log cannot be trusted. Preserve it
+			// for forensics and start over — manifests still dedupe.
+			c.log.Error("wal corrupt; rotating", "sweep", camp.sweep, "err", rerr)
+			os.Rename(path, path+".corrupt")
+		case rep.Events == 0:
+			// Empty file (crash between create and first append).
+		case rep.Closed:
+			// Previous campaign finished and was compacted; a re-run of the
+			// same sweep starts a fresh log.
+			os.Remove(path)
+		case rep.Sweep != camp.sweep || rep.Cells != len(camp.cells) || !digestsMatch(rep, camp):
+			// The log describes a different campaign shape (changed sweep
+			// definition): it cannot resume this one.
+			c.log.Warn("wal stale (campaign shape changed); rotating",
+				"sweep", camp.sweep, "logged_sweep", rep.Sweep, "logged_cells", rep.Cells)
+			os.Rename(path, path+".stale")
+		default:
+			orphans = c.applyReplay(camp, rep)
+			fresh = false
+		}
+	}
+	if fresh {
+		os.Remove(path)
+	}
+	wal, err := OpenWAL(path)
+	if err != nil {
+		c.log.Error("wal disabled: open failed", "sweep", camp.sweep, "err", err)
+		return orphans
+	}
+	camp.wal = wal
+	if fresh {
+		digests := make(map[int]string, len(camp.cells))
+		for _, cl := range camp.cells {
+			digests[cl.index] = cl.digest
+		}
+		e := Event{Type: EventCampaignOpen, Sweep: camp.sweep,
+			Cells: len(camp.cells), Digests: digests}
+		if err := wal.Append(e); err != nil {
+			c.log.Error("wal disabled: open event", "sweep", camp.sweep, "err", err)
+			wal.Close()
+			camp.wal = nil
+		}
+	} else {
+		c.walAppend(wal, Event{Type: EventCoordinatorReplayed, Sweep: camp.sweep,
+			Orphans: len(orphans), Resolved: camp.replayedCells})
+	}
+	return orphans
+}
+
+// digestsMatch verifies the replayed log fingerprints the same campaign:
+// every logged digest must equal the cell the restarted coordinator
+// built at that index.
+func digestsMatch(rep *Replay, camp *campaign) bool {
+	for idx, d := range rep.Digests {
+		if idx < 0 || idx >= len(camp.cells) || camp.cells[idx].digest != d {
+			return false
+		}
+	}
+	return true
+}
+
+// applyReplay folds a replayed WAL into a freshly built campaign, before
+// it is published: cells whose manifest is on disk (digest-matched) are
+// resolved without re-running, quarantine verdicts are restored, per-cell
+// dispatch and failure accounting carries over, and the queue is rebuilt
+// from what is genuinely still pending. Returns the orphan leases whose
+// cells remain unresolved. Manifests — not the WAL — decide resolution:
+// a logged acceptance whose manifest never landed is re-run (determinism
+// makes the rerun byte-identical).
+func (c *Coordinator) applyReplay(camp *campaign, rep *Replay) []Orphan {
+	byIndex, warnings, err := manifest.ScanDir(c.cfg.ManifestDir, camp.sweep)
+	if err != nil {
+		c.log.Warn("wal replay: manifest scan failed", "sweep", camp.sweep, "err", err)
+		byIndex = map[int]*manifest.Manifest{}
+	}
+	for _, warn := range warnings {
+		c.log.Warn("wal replay: manifest scan", "sweep", camp.sweep, "warning", warn)
+	}
+
+	camp.replays = rep.Restarts + 2 // prior incarnations + this one
+	camp.reclaims = rep.Reclaims
+	camp.lateAccepts = rep.LateAccepts
+	camp.adopted = rep.Adoptions
+	camp.replayGrants = rep.Grants
+	for w, n := range rep.WorkerCompletions {
+		camp.workerCompleted[w] = n
+	}
+
+	for _, cl := range camp.cells {
+		if cl.state == cellDone { // skipped by policy
+			continue
+		}
+		cl.dispatches = rep.Dispatches[cl.index]
+		for _, f := range rep.Failures[cl.index] {
+			cl.failedBy[f.Worker] = true
+			cl.failCount++
+		}
+		if q := rep.Quarantined[cl.index]; q != nil {
+			cl.state = cellDone
+			cl.err = &runner.RunError{Index: cl.index, Attempt: q.Attempt,
+				Cause: runner.Cause(q.Cause), Digest: cl.digest,
+				Err: errors.New(q.Error)}
+			camp.quarantined = append(camp.quarantined, cl.index)
+			continue
+		}
+		m := byIndex[cl.index]
+		if m != nil && m.Status == manifest.StatusOK && m.ConfigDigest == cl.digest {
+			cl.state = cellDone
+			cl.res = m.ToResults()
+			cl.wall = m.WallSeconds
+			camp.replayedCells++
+			// StatusSkipped is the one claim-free Done status; observers
+			// (and the manifest emitter, which ignores skips) treat the
+			// cell as already settled.
+			camp.replayEmit = append(camp.replayEmit, runner.Outcome{
+				Index: cl.index, Done: true, Status: runner.StatusSkipped, Cfg: cl.cfg})
+			continue
+		}
+		if rep.Accepted[cl.index] > 0 {
+			c.log.Warn("wal replay: accepted completion has no manifest; re-running",
+				"sweep", camp.sweep, "cell", cl.index, "digest", cl.digest)
+		}
+	}
+
+	// Rebuild queue and remaining from the surviving pending set, leased
+	// orphan cells stay out of the queue until reclaimed or adopted.
+	camp.queue = camp.queue[:0]
+	camp.remaining = 0
+	var orphans []Orphan
+	for _, o := range rep.Orphans {
+		if o.Index < 0 || o.Index >= len(camp.cells) {
+			continue
+		}
+		cl := camp.cells[o.Index]
+		if cl.state != cellPending || cl.leaseID != "" {
+			// Resolved above, or an earlier orphan already owns the cell
+			// (first orphan wins; the loser's worker late-accepts by digest).
+			continue
+		}
+		cl.state = cellLeased
+		cl.leaseID = o.Lease
+		orphans = append(orphans, o)
+	}
+	for _, cl := range camp.cells {
+		if cl.state == cellPending {
+			camp.queue = append(camp.queue, cl.index)
+		}
+		if cl.state != cellDone {
+			camp.remaining++
+		}
+	}
+	return orphans
+}
+
+// walAppend appends an event to the campaign log, tolerating a nil WAL.
+// An append failure is logged and swallowed: the campaign stays correct
+// without the record (a forgotten grant's completion still late-accepts
+// by digest), only crash-recovery fidelity degrades.
+func (c *Coordinator) walAppend(w *WAL, e Event) {
+	if w == nil {
+		return
+	}
+	if err := w.Append(e); err != nil {
+		c.log.Error("wal append failed; crash-safety degraded",
+			"type", string(e.Type), "err", err)
+	}
+}
+
+// crash kills the coordinator mid-campaign (chaos hook): it marks the
+// handler surface dead (503s), unblocks RunCampaign via camp.crash, and
+// calls the configured Exit. With the default os.Exit the process dies
+// here; tests inject a no-op and observe the dead coordinator in
+// process.
+func (c *Coordinator) crash(reason string) {
+	if !c.dead.CompareAndSwap(false, true) {
+		return
+	}
+	c.mu.Lock()
+	camp := c.camp
+	var wal *WAL
+	if camp != nil && !camp.crashed {
+		camp.crashed = true
+		wal = camp.wal
+		close(camp.crash)
+	}
+	c.mu.Unlock()
+	c.log.Warn("coordinator crashing", "reason", reason)
+	if wal != nil {
+		wal.Close() // fd only; the log stays unsealed for replay
+	}
+	exit := c.cfg.Exit
+	if exit == nil {
+		exit = os.Exit
+	}
+	exit(1)
 }
 
 // journal assembles the campaign's durable account.
@@ -290,6 +705,9 @@ func (c *Coordinator) journal(camp *campaign) *Journal {
 		DigestConflicts:   camp.conflicts,
 		Quarantined:       camp.quarantined,
 		Skipped:           camp.skipped,
+		Adopted:           camp.adopted,
+		Replays:           camp.replays - 1,
+		Replayed:          camp.replayedCells,
 	}
 	for _, cl := range camp.cells {
 		j.Digests[cl.index] = cl.digest
@@ -321,20 +739,27 @@ func (c *Coordinator) reclaimExpired() {
 	c.mu.Lock()
 	now := c.now()
 	var emit []runner.Outcome
+	var events []Event
 	var obs runner.Observer
+	var wal *WAL
 	for id, l := range c.leases {
 		if now.Before(l.expires) {
 			continue
 		}
-		if o, ok := c.reclaimLeaseLocked(l); ok {
+		if o, e, ok := c.reclaimLeaseLocked(l); ok {
 			emit = append(emit, o)
+			events = append(events, e)
 		}
 		delete(c.leases, id)
 	}
 	if c.camp != nil {
 		obs = c.camp.observer
+		wal = c.camp.wal
 	}
 	c.mu.Unlock()
+	for _, e := range events {
+		c.walAppend(wal, e)
+	}
 	if obs != nil {
 		for _, o := range emit {
 			obs(o)
@@ -344,24 +769,27 @@ func (c *Coordinator) reclaimExpired() {
 
 // reclaimLeaseLocked returns an expired lease's cell to the pending
 // queue (when the lease still owns an open cell) and returns the
-// StatusRetrying outcome to emit. The caller deletes the lease and holds
-// mu.
-func (c *Coordinator) reclaimLeaseLocked(l *lease) (runner.Outcome, bool) {
+// StatusRetrying outcome plus the WAL reclaim event to emit (events are
+// appended outside mu so fsync never blocks handlers). The caller
+// deletes the lease and holds mu.
+func (c *Coordinator) reclaimLeaseLocked(l *lease) (runner.Outcome, Event, bool) {
 	camp := c.camp
 	if camp == nil || l.index >= len(camp.cells) {
-		return runner.Outcome{}, false
+		return runner.Outcome{}, Event{}, false
 	}
 	cl := camp.cells[l.index]
 	if cl.state != cellLeased || cl.leaseID != l.id {
 		// The cell was resolved (or re-leased) while this lease aged out;
 		// nothing to reclaim.
-		return runner.Outcome{}, false
+		return runner.Outcome{}, Event{}, false
 	}
 	cl.state = cellPending
 	cl.leaseID = ""
 	camp.queue = append(camp.queue, l.index)
 	camp.reclaims++
 	c.totReclaims++
+	ev := Event{Type: EventLeaseReclaimed, Sweep: camp.sweep,
+		Lease: l.id, Index: l.index, Worker: l.worker}
 	return runner.Outcome{
 		Index: l.index, Worker: c.workerNumLocked(l.worker), Done: true,
 		Status: runner.StatusRetrying, Attempt: cl.dispatches - 1, Cfg: cl.cfg,
@@ -370,7 +798,7 @@ func (c *Coordinator) reclaimLeaseLocked(l *lease) (runner.Outcome, bool) {
 			Digest: cl.digest,
 			Err:    fmt.Errorf("fleet: lease %s expired on worker %s", l.id, l.worker),
 		},
-	}, true
+	}, ev, true
 }
 
 // touchWorker records a worker contact and returns its info. Caller
@@ -394,8 +822,19 @@ func (c *Coordinator) workerNumLocked(id string) int {
 	return 0
 }
 
-// ServeHTTP demultiplexes the fleet endpoints.
+// ServeHTTP demultiplexes the fleet endpoints. Every /fleet/* route is
+// behind the bearer token (when configured); /healthz and /metrics stay
+// open for probes and scrapers.
 func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if c.dead.Load() {
+		http.Error(w, "coordinator down", http.StatusServiceUnavailable)
+		return
+	}
+	if strings.HasPrefix(r.URL.Path, "/fleet/") && !c.authorized(r) {
+		w.Header().Set("WWW-Authenticate", `Bearer realm="fleet"`)
+		http.Error(w, "unauthorized", http.StatusUnauthorized)
+		return
+	}
 	switch r.URL.Path {
 	case PathLease:
 		c.handleLease(w, r)
@@ -403,6 +842,8 @@ func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		c.handleHeartbeat(w, r)
 	case PathComplete:
 		c.handleComplete(w, r)
+	case PathAdopt:
+		c.handleAdopt(w, r)
 	case PathStatus:
 		writeJSON(w, c.Status())
 	case PathMetrics:
@@ -412,6 +853,20 @@ func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	default:
 		http.NotFound(w, r)
 	}
+}
+
+// authorized checks the shared-secret bearer token in constant time; an
+// unset token leaves the fleet open (LAN-trust mode).
+func (c *Coordinator) authorized(r *http.Request) bool {
+	if c.cfg.Token == "" {
+		return true
+	}
+	auth := r.Header.Get("Authorization")
+	const prefix = "Bearer "
+	if !strings.HasPrefix(auth, prefix) {
+		return false
+	}
+	return subtle.ConstantTimeCompare([]byte(auth[len(prefix):]), []byte(c.cfg.Token)) == 1
 }
 
 // handleLease answers a worker poll: reclaim lazily, then grant the next
@@ -429,6 +884,9 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 	var resp LeaseResponse
 	var claim *runner.Outcome
 	var obs runner.Observer
+	var wal *WAL
+	var grant Event
+	killNow := false
 	switch {
 	case c.shutdown:
 		resp.Shutdown = true
@@ -459,15 +917,35 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 			}
 			claim = &runner.Outcome{Index: idx, Worker: wi.num,
 				Status: runner.StatusRunning, Attempt: cl.dispatches - 1, Cfg: cl.cfg}
+			wal = camp.wal
+			grant = Event{Type: EventLeaseGranted, Sweep: camp.sweep,
+				Lease: id, Index: idx, Worker: req.Worker, Digest: cl.digest}
+			c.grants++
+			killNow = c.cfg.ChaosKillAfter > 0 && c.grants == c.cfg.ChaosKillAfter
 			break
 		}
 	}
 	c.mu.Unlock()
 
+	// Durability before announcement: the grant record is fsynced before
+	// the worker learns the lease exists, so a replayed log can never be
+	// missing a lease some worker holds.
+	if wal != nil {
+		c.walAppend(wal, grant)
+	}
 	if claim != nil && obs != nil {
 		obs(*claim)
 	}
 	writeJSON(w, resp)
+	if killNow {
+		// Chaos: die after the grant response is flushed, so the worker
+		// deterministically holds a lease across the crash — the scenario
+		// lease adoption exists for.
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		c.crash("chaos-kill-coordinator-after")
+	}
 }
 
 // handleHeartbeat extends a live lease. A heartbeat arriving after the
@@ -486,28 +964,102 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 		wi.snap = req.Snapshot
 	}
 	var emit *runner.Outcome
+	var event *Event
 	var obs runner.Observer
+	var wal *WAL
 	resp := HeartbeatResponse{}
 	l := c.leases[req.LeaseID]
 	switch {
 	case l == nil:
 		resp.Gone = true
+	case l.orphan && c.now().Before(l.expires):
+		// A lease granted by a previous incarnation: keep it alive and
+		// ask the worker to re-announce its held cell so it can be
+		// adopted (index + digest cross-checked in handleAdopt).
+		l.expires = c.now().Add(c.cfg.LeaseTTL)
+		resp.Reannounce = true
 	case c.now().Before(l.expires):
 		l.expires = c.now().Add(c.cfg.LeaseTTL)
 		resp.OK = true
 	default:
-		if o, ok := c.reclaimLeaseLocked(l); ok {
+		if o, e, ok := c.reclaimLeaseLocked(l); ok {
 			emit = &o
+			event = &e
 		}
 		delete(c.leases, req.LeaseID)
 		resp.Gone = true
 	}
 	if c.camp != nil {
 		obs = c.camp.observer
+		wal = c.camp.wal
 	}
 	c.mu.Unlock()
+	if event != nil {
+		c.walAppend(wal, *event)
+	}
 	if emit != nil && obs != nil {
 		obs(*emit)
+	}
+	writeJSON(w, resp)
+}
+
+// handleAdopt completes the lease-adoption handshake: a worker whose
+// heartbeat was answered with Reannounce re-registers its held cell, and
+// the restarted coordinator adopts the lease when the cell's identity
+// (index + digest) matches the replayed campaign. Anything else answers
+// Gone — the worker finishes and delivers anyway; a digest-matched
+// completion is still accepted (late) even without a live lease.
+func (c *Coordinator) handleAdopt(w http.ResponseWriter, r *http.Request) {
+	var req AdoptRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Worker == "" || req.LeaseID == "" {
+		http.Error(w, "bad adopt request", http.StatusBadRequest)
+		return
+	}
+	c.mu.Lock()
+	c.touchWorkerLocked(req.Worker)
+	camp := c.camp
+	resp := AdoptResponse{}
+	var event *Event
+	var wal *WAL
+	l := c.leases[req.LeaseID]
+	switch {
+	case camp == nil || camp.sweep != req.Sweep ||
+		req.Index < 0 || req.Index >= len(camp.cells):
+		resp.Gone = true
+	case l == nil:
+		// Expired and reclaimed (or never replayed); the worker's eventual
+		// completion can still late-accept by digest.
+		resp.Gone = true
+	case l.index != req.Index || camp.cells[req.Index].digest != req.Digest ||
+		camp.cells[req.Index].state == cellDone:
+		// The lease does not describe the cell the worker claims to hold,
+		// or the cell was resolved meanwhile: drop the lease entirely.
+		delete(c.leases, req.LeaseID)
+		resp.Gone = true
+	case l.orphan:
+		l.orphan = false
+		l.worker = req.Worker
+		l.expires = c.now().Add(c.cfg.LeaseTTL)
+		camp.cells[req.Index].leaseID = req.LeaseID
+		camp.adopted++
+		c.totAdopted++
+		resp.Adopted = true
+		wal = camp.wal
+		event = &Event{Type: EventLeaseAdopted, Sweep: camp.sweep,
+			Lease: req.LeaseID, Index: req.Index, Worker: req.Worker,
+			Digest: req.Digest, Attempt: req.Attempt}
+	case l.worker == req.Worker && camp.cells[req.Index].leaseID == req.LeaseID:
+		// Resent adopt (lost response): idempotent success.
+		l.expires = c.now().Add(c.cfg.LeaseTTL)
+		resp.Adopted = true
+	default:
+		resp.Gone = true
+	}
+	c.mu.Unlock()
+	if event != nil {
+		c.walAppend(wal, *event)
+		c.log.Info("lease adopted", "sweep", req.Sweep, "cell", req.Index,
+			"worker", req.Worker, "lease", req.LeaseID)
 	}
 	writeJSON(w, resp)
 }
@@ -524,6 +1076,14 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 	c.mu.Lock()
 	wi := c.touchWorkerLocked(rep.Worker)
 	camp := c.camp
+	if camp == nil && !c.published {
+		// Startup window: the port is up but no campaign has ever been
+		// installed — a restarted coordinator still replaying. Make the
+		// worker retry instead of dropping its report.
+		c.mu.Unlock()
+		http.Error(w, "no campaign yet", http.StatusServiceUnavailable)
+		return
+	}
 	if camp == nil || camp.sweep != rep.Sweep || rep.Index < 0 || rep.Index >= len(camp.cells) {
 		// A straggler from a finished campaign: its cell was resolved (or
 		// never existed); drop as a duplicate so the worker stops.
@@ -549,7 +1109,9 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 	}
 
 	obs := camp.observer
+	wal := camp.wal
 	var emit []runner.Outcome
+	var events []Event
 	resp := CompletionResponse{}
 
 	if cl.state == cellDone {
@@ -567,13 +1129,29 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 		}
 	} else {
 		resp.Accepted = true
-		if !hadLease || cl.leaseID != rep.LeaseID {
+		late := !hadLease || cl.leaseID != rep.LeaseID
+		if late {
 			// The worker outlived its reclaimed lease; its work is still
 			// valid (digest matched) and it got here first.
 			camp.lateAccepts++
 			c.totLate++
 		}
+		if hadLease && l.orphan && l.index == rep.Index {
+			// Implicit adoption: the completion arrived on a previous
+			// incarnation's lease before (or instead of) the re-announce
+			// handshake — the in-flight work still survived the outage.
+			camp.adopted++
+			c.totAdopted++
+			events = append(events, Event{Type: EventLeaseAdopted,
+				Sweep: camp.sweep, Lease: rep.LeaseID, Index: rep.Index,
+				Worker: rep.Worker, Digest: rep.Digest, Attempt: rep.Attempt})
+		}
 		cl.leaseID = ""
+		accept := Event{Type: EventCompletionAccepted, Sweep: camp.sweep,
+			Lease: rep.LeaseID, Index: rep.Index, Worker: rep.Worker,
+			Digest: rep.Digest, OK: rep.OK, Late: late,
+			Cause: rep.Cause, Error: rep.Error, Attempt: rep.Attempt}
+		events = append(events, accept)
 		if rep.OK {
 			cl.state = cellDone
 			cl.res = rep.Res
@@ -600,6 +1178,10 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 				camp.quarantined = append(camp.quarantined, rep.Index)
 				c.totQuarantined++
 				camp.remaining--
+				events = append(events, Event{Type: EventCellQuarantined,
+					Sweep: camp.sweep, Index: rep.Index, Worker: rep.Worker,
+					Digest: cl.digest, Cause: rep.Cause, Error: rep.Error,
+					Attempt: rep.Attempt})
 				emit = append(emit, runner.Outcome{Index: rep.Index, Worker: wi.num,
 					Done: true, Status: runner.StatusQuarantined, Attempt: rep.Attempt,
 					Cfg: cl.cfg, Err: rerr, WallSeconds: rep.WallSeconds})
@@ -617,6 +1199,12 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 	}
 	c.mu.Unlock()
 
+	// Durability before acknowledgement: the acceptance is on disk
+	// before the worker is told it landed, so a crash after the ack can
+	// never lose an acknowledged completion from the log.
+	for _, e := range events {
+		c.walAppend(wal, e)
+	}
 	if obs != nil {
 		for _, o := range emit {
 			obs(o)
@@ -637,6 +1225,8 @@ func (c *Coordinator) Status() Status {
 		LateAccepts:       c.totLate,
 		Quarantined:       c.totQuarantined,
 		DigestConflicts:   c.totConflicts,
+		Adopted:           c.totAdopted,
+		Replays:           c.totReplays,
 	}
 	if c.camp != nil {
 		st.Sweep = c.camp.sweep
@@ -685,6 +1275,8 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		"fleet.late_accepts":       float64(c.totLate),
 		"fleet.quarantined":        float64(c.totQuarantined),
 		"fleet.digest_conflicts":   float64(c.totConflicts),
+		"fleet.adopted":            float64(c.totAdopted),
+		"fleet.replays":            float64(c.totReplays),
 	}
 	if c.camp != nil {
 		done := 0

@@ -1,0 +1,333 @@
+package fleet
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"inpg/internal/manifest"
+	"inpg/internal/runner"
+)
+
+// manifestPolicy mimics the experiments observer: every accepted OK
+// completion lands a run manifest, which is what replay resolves cells
+// from. (fakeWorker completions carry fake results; Build records them
+// faithfully.)
+func manifestPolicy(t *testing.T, dir, sweep string) runner.Policy {
+	t.Helper()
+	return runner.Policy{Observer: func(o runner.Outcome) {
+		if o.Done && o.Status == runner.StatusOK {
+			m := manifest.Build(sweep, o.Index, o.Cfg, o.Res, o.Snapshot, o.WallSeconds, nil)
+			if _, err := m.WriteFile(dir); err != nil {
+				t.Errorf("manifest write: %v", err)
+			}
+		}
+	}}
+}
+
+func (f *fakeWorker) adopt(l *Lease) AdoptResponse {
+	var resp AdoptResponse
+	f.post(PathAdopt, AdoptRequest{Worker: f.id, LeaseID: l.ID, Sweep: l.Sweep,
+		Index: l.Index, Digest: l.Digest}, &resp)
+	return resp
+}
+
+// TestCoordinatorCrashReplayAdoptsLease is the tentpole scenario: the
+// coordinator dies right after granting a lease, a restarted coordinator
+// replays the WAL against the same manifest dir, resolves the already-
+// manifested cell without re-running it, answers the surviving worker's
+// heartbeat with Reannounce, adopts the lease, and finishes the campaign.
+func TestCoordinatorCrashReplayAdoptsLease(t *testing.T) {
+	dir := t.TempDir()
+	cfgs := tinyCfgs(3)
+
+	a := NewCoordinator(Config{LeaseTTL: time.Minute, ManifestDir: dir,
+		ChaosKillAfter: 2, Exit: func(int) {}, Log: testLogger(t)})
+	srvA := httptest.NewServer(a)
+	defer srvA.Close()
+	waitA := startCampaign(t, a, "crash", cfgs, manifestPolicy(t, dir, "crash"))
+
+	w := &fakeWorker{t: t, url: srvA.URL, id: "survivor"}
+	l0 := w.lease()
+	if l0 == nil || l0.Index != 0 {
+		t.Fatalf("first lease = %+v", l0)
+	}
+	if resp, _ := w.complete(l0, true, 100); !resp.Accepted {
+		t.Fatalf("completion = %+v", resp)
+	}
+	// The second grant trips ChaosKillAfter: the response is flushed and
+	// then the coordinator dies, so the worker genuinely holds the lease.
+	l1 := w.lease()
+	if l1 == nil || l1.Index != 1 {
+		t.Fatalf("lease across crash = %+v", l1)
+	}
+
+	_, errsA := waitA()
+	if errsA[0] != nil {
+		t.Fatalf("pre-crash cell errored: %v", errsA[0])
+	}
+	if errsA[1] == nil || errsA[1].Cause != runner.CauseCanceled ||
+		errsA[2] == nil || errsA[2].Cause != runner.CauseCanceled {
+		t.Fatalf("crashed campaign errs = %v / %v, want canceled", errsA[1], errsA[2])
+	}
+	// The dead coordinator answers every request 503, like a dead process.
+	var hb HeartbeatResponse
+	if status := w.post(PathHeartbeat, HeartbeatRequest{Worker: w.id, LeaseID: l1.ID}, &hb); status != http.StatusServiceUnavailable {
+		t.Fatalf("dead coordinator heartbeat status = %d, want 503", status)
+	}
+
+	// Restart against the same manifest dir.
+	b := NewCoordinator(Config{LeaseTTL: time.Minute, ManifestDir: dir, Log: testLogger(t)})
+	srvB := httptest.NewServer(b)
+	defer srvB.Close()
+	waitB := startCampaign(t, b, "crash", cfgs, manifestPolicy(t, dir, "crash"))
+
+	w.url = srvB.URL
+	// The replayed orphan lease answers Reannounce, not Gone.
+	if hb := w.heartbeat(l1.ID); !hb.Reannounce || hb.Gone || hb.OK {
+		t.Fatalf("orphan heartbeat = %+v, want reannounce", hb)
+	}
+	if ad := w.adopt(l1); !ad.Adopted {
+		t.Fatalf("adopt = %+v", ad)
+	}
+	// Adopted: from here it is an ordinary lease.
+	if hb := w.heartbeat(l1.ID); !hb.OK {
+		t.Fatalf("post-adopt heartbeat = %+v", hb)
+	}
+	if resp, _ := w.complete(l1, true, 111); !resp.Accepted {
+		t.Fatalf("adopted completion = %+v", resp)
+	}
+	l2 := w.lease()
+	if l2 == nil || l2.Index != 2 {
+		t.Fatalf("remaining lease = %+v", l2)
+	}
+	if strings.HasPrefix(l1.ID, l2.ID) || l2.ID == l1.ID {
+		t.Fatalf("lease ID collision across restart: %s vs %s", l2.ID, l1.ID)
+	}
+	w.complete(l2, true, 222)
+
+	resB, errsB := waitB()
+	for i := range cfgs {
+		if errsB[i] != nil || resB[i] == nil {
+			t.Fatalf("cell %d after restart: res %v err %v", i, resB[i], errsB[i])
+		}
+	}
+	// Cell 0 was resolved from its manifest, not re-run: the result is
+	// the pre-crash one.
+	if resB[0].Runtime != 100 || resB[1].Runtime != 111 || resB[2].Runtime != 222 {
+		t.Fatalf("runtimes = %d/%d/%d", resB[0].Runtime, resB[1].Runtime, resB[2].Runtime)
+	}
+	st := b.Status()
+	if st.Adopted != 1 || st.Replays != 1 || st.Reclaims != 0 {
+		t.Fatalf("status = adopted %d replays %d reclaims %d, want 1/1/0 (adopted, not reclaimed)",
+			st.Adopted, st.Replays, st.Reclaims)
+	}
+
+	j, err := ReadJournal(filepath.Join(dir, JournalFilename("crash")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Adopted != 1 || j.Replays != 1 || j.Replayed != 1 {
+		t.Fatalf("journal adopted=%d replays=%d replayed=%d, want 1/1/1", j.Adopted, j.Replays, j.Replayed)
+	}
+	rep, err := ReplayWAL(filepath.Join(dir, WALFilename("crash")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Closed || rep.Adoptions != 1 || rep.Restarts != 1 || len(rep.Orphans) != 0 {
+		t.Fatalf("final WAL replay = closed %v adoptions %d restarts %d orphans %d",
+			rep.Closed, rep.Adoptions, rep.Restarts, len(rep.Orphans))
+	}
+}
+
+// TestCoordinatorDoubleCrashReplay: the restarted coordinator crashes
+// too — after adopting a lease and granting a new one — and a third
+// incarnation replays a log that already contains a replay marker and an
+// adoption. Mid-campaign the live WAL is also replayed read-only,
+// modeling a crash *during* replay: replay is pure, so the interrupted
+// incarnation leaves nothing behind.
+func TestCoordinatorDoubleCrashReplay(t *testing.T) {
+	dir := t.TempDir()
+	cfgs := tinyCfgs(2)
+	walFile := filepath.Join(dir, WALFilename("dc"))
+
+	a := NewCoordinator(Config{LeaseTTL: time.Minute, ManifestDir: dir,
+		ChaosKillAfter: 1, Exit: func(int) {}, Log: testLogger(t)})
+	srvA := httptest.NewServer(a)
+	defer srvA.Close()
+	waitA := startCampaign(t, a, "dc", cfgs, manifestPolicy(t, dir, "dc"))
+	w := &fakeWorker{t: t, url: srvA.URL, id: "survivor"}
+	l0 := w.lease() // first grant kills A; the worker holds cell 0
+	if l0 == nil || l0.Index != 0 {
+		t.Fatalf("lease = %+v", l0)
+	}
+	waitA()
+
+	b := NewCoordinator(Config{LeaseTTL: time.Minute, ManifestDir: dir,
+		ChaosKillAfter: 1, Exit: func(int) {}, Log: testLogger(t)})
+	srvB := httptest.NewServer(b)
+	defer srvB.Close()
+	waitB := startCampaign(t, b, "dc", cfgs, manifestPolicy(t, dir, "dc"))
+
+	// Crash-during-replay model: replaying the live log mid-campaign is
+	// read-only and must parse — an incarnation dying here changes nothing.
+	before, err := os.ReadFile(walFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep, err := ReplayWAL(walFile); err != nil || rep.Restarts != 1 {
+		t.Fatalf("mid-campaign replay: rep %+v err %v", rep, err)
+	}
+	after, _ := os.ReadFile(walFile)
+	if string(before) != string(after) {
+		t.Fatal("mid-campaign replay modified the log")
+	}
+
+	w.url = srvB.URL
+	if hb := w.heartbeat(l0.ID); !hb.Reannounce {
+		t.Fatalf("heartbeat on B = %+v", hb)
+	}
+	if ad := w.adopt(l0); !ad.Adopted {
+		t.Fatalf("adopt on B = %+v", ad)
+	}
+	if resp, _ := w.complete(l0, true, 100); !resp.Accepted {
+		t.Fatalf("completion on B = %+v", resp)
+	}
+	l1 := w.lease() // B's first grant kills B; the worker holds cell 1
+	if l1 == nil || l1.Index != 1 {
+		t.Fatalf("lease across second crash = %+v", l1)
+	}
+	waitB()
+
+	c := NewCoordinator(Config{LeaseTTL: time.Minute, ManifestDir: dir, Log: testLogger(t)})
+	srvC := httptest.NewServer(c)
+	defer srvC.Close()
+	waitC := startCampaign(t, c, "dc", cfgs, manifestPolicy(t, dir, "dc"))
+
+	w.url = srvC.URL
+	if hb := w.heartbeat(l1.ID); !hb.Reannounce {
+		t.Fatalf("heartbeat on C = %+v", hb)
+	}
+	if ad := w.adopt(l1); !ad.Adopted {
+		t.Fatalf("adopt on C = %+v", ad)
+	}
+	if resp, _ := w.complete(l1, true, 200); !resp.Accepted {
+		t.Fatalf("completion on C = %+v", resp)
+	}
+
+	res, errs := waitC()
+	if errs[0] != nil || errs[1] != nil || res[0].Runtime != 100 || res[1].Runtime != 200 {
+		t.Fatalf("final results = %v/%v errs %v/%v", res[0], res[1], errs[0], errs[1])
+	}
+	j, err := ReadJournal(filepath.Join(dir, JournalFilename("dc")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Adopted != 2 || j.Replays != 2 || j.Replayed != 1 {
+		t.Fatalf("journal adopted=%d replays=%d replayed=%d, want 2/2/1", j.Adopted, j.Replays, j.Replayed)
+	}
+	rep, err := ReplayWAL(walFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Closed || rep.Adoptions != 2 || rep.Restarts != 2 {
+		t.Fatalf("final WAL = closed %v adoptions %d restarts %d", rep.Closed, rep.Adoptions, rep.Restarts)
+	}
+}
+
+// TestFleetTokenAuth: with a token configured, every /fleet/* request
+// without the bearer secret is 401; /healthz and /metrics stay open; a
+// worker configured with the token completes a campaign normally.
+func TestFleetTokenAuth(t *testing.T) {
+	c := NewCoordinator(Config{LeaseTTL: time.Minute, Token: "s3cret", Log: testLogger(t)})
+	srv := httptest.NewServer(c)
+	defer srv.Close()
+
+	post := func(token string) int {
+		req, err := http.NewRequest(http.MethodPost, srv.URL+PathLease,
+			strings.NewReader(`{"worker":"w"}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if token != "" {
+			req.Header.Set("Authorization", "Bearer "+token)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if status := post(""); status != http.StatusUnauthorized {
+		t.Fatalf("tokenless lease status = %d, want 401", status)
+	}
+	if status := post("wrong"); status != http.StatusUnauthorized {
+		t.Fatalf("wrong-token lease status = %d, want 401", status)
+	}
+	if status := post("s3cret"); status != http.StatusOK {
+		t.Fatalf("authorized lease status = %d, want 200", status)
+	}
+	for _, open := range []string{PathHealthz, PathMetrics} {
+		resp, err := http.Get(srv.URL + open)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s status = %d, want 200 without token", open, resp.StatusCode)
+		}
+	}
+
+	wait := startCampaign(t, c, "auth", tinyCfgs(1), runner.Policy{})
+	w := NewWorker(WorkerConfig{Coordinator: srv.URL, ID: "tokened", Token: "s3cret",
+		PollInterval: 2 * time.Millisecond, Log: testLogger(t)})
+	done := make(chan struct{})
+	go func() {
+		w.Run()
+		close(done)
+	}()
+	res, errs := wait()
+	if errs[0] != nil || res[0] == nil {
+		t.Fatalf("authorized worker campaign: res %v err %v", res[0], errs[0])
+	}
+	c.Shutdown()
+	<-done
+}
+
+// TestJournalWriteRetrySurfacesTypedError: when the journal cannot land
+// (the manifest dir is a plain file), the campaign still completes, the
+// write is retried a bounded number of times, and the failure surfaces
+// as a typed *JournalWriteError on JournalError.
+func TestJournalWriteRetrySurfacesTypedError(t *testing.T) {
+	blocker := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := NewCoordinator(Config{LeaseTTL: time.Minute, ManifestDir: blocker, Log: testLogger(t)})
+	srv := httptest.NewServer(c)
+	defer srv.Close()
+	wait := startCampaign(t, c, "jfail", tinyCfgs(1), runner.Policy{})
+
+	w := &fakeWorker{t: t, url: srv.URL, id: "worker-j"}
+	l := w.lease()
+	if resp, _ := w.complete(l, true, 9); !resp.Accepted {
+		t.Fatalf("completion = %+v", resp)
+	}
+	res, errs := wait()
+	if errs[0] != nil || res[0] == nil {
+		t.Fatalf("campaign should complete despite journal failure: res %v err %v", res[0], errs[0])
+	}
+	var jerr *JournalWriteError
+	if err := c.JournalError(); !errors.As(err, &jerr) {
+		t.Fatalf("JournalError = %v (%T), want *JournalWriteError", err, err)
+	}
+	if jerr.Sweep != "jfail" || jerr.Attempts != journalRetries || jerr.Unwrap() == nil {
+		t.Fatalf("typed error = %+v", jerr)
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"path/filepath"
 
 	"inpg"
+	"inpg/internal/manifest"
 	"inpg/internal/metrics"
 )
 
@@ -40,7 +41,13 @@ const (
 	PathHeartbeat = "/fleet/heartbeat"
 	PathComplete  = "/fleet/complete"
 	PathStatus    = "/fleet/status"
-	PathHealthz   = "/healthz"
+	// PathAdopt lets a worker re-register a lease it holds from a
+	// coordinator incarnation that crashed: the restarted coordinator
+	// answers its heartbeat with Reannounce, the worker posts the lease's
+	// identity here, and the coordinator adopts the in-flight work if the
+	// digest matches the replayed campaign.
+	PathAdopt   = "/fleet/adopt"
+	PathHealthz = "/healthz"
 	// PathMetrics serves the coordinator's aggregated telemetry —
 	// campaign counters folded from accepted completions plus a live view
 	// assembled from worker heartbeat snapshots — in the Prometheus text
@@ -99,10 +106,38 @@ type HeartbeatRequest struct {
 // HeartbeatResponse acknowledges a heartbeat. Gone reports that the lease
 // no longer exists — expired and reclaimed, or completed by another
 // worker — so the heartbeating worker should stop renewing (its eventual
-// completion is still accepted or deduplicated by digest).
+// completion is still accepted or deduplicated by digest). Reannounce
+// reports that the lease was granted by a coordinator incarnation that
+// since crashed and restarted: the worker should POST the lease's
+// identity to /fleet/adopt so its in-flight work survives the outage
+// instead of being reclaimed and redone.
 type HeartbeatResponse struct {
-	OK   bool `json:"ok"`
-	Gone bool `json:"gone,omitempty"`
+	OK         bool `json:"ok"`
+	Gone       bool `json:"gone,omitempty"`
+	Reannounce bool `json:"reannounce,omitempty"`
+}
+
+// AdoptRequest re-registers a lease with a restarted coordinator: which
+// worker holds it, which cell it maps to, and the digest it is running —
+// the coordinator adopts it only if the digest matches the replayed
+// campaign (otherwise the worker finishes anyway and its completion is
+// judged by the usual digest-matched idempotency).
+type AdoptRequest struct {
+	Worker  string `json:"worker"`
+	LeaseID string `json:"lease_id"`
+	Sweep   string `json:"sweep"`
+	Index   int    `json:"index"`
+	Digest  string `json:"digest"`
+	Attempt int    `json:"attempt,omitempty"`
+}
+
+// AdoptResponse answers an adoption attempt. Adopted means the lease is
+// live again (fresh TTL, heartbeats resume as normal); Gone means the
+// cell was resolved meanwhile or the digest no longer matches — the
+// worker stops renewing but still delivers its completion.
+type AdoptResponse struct {
+	Adopted bool `json:"adopted"`
+	Gone    bool `json:"gone,omitempty"`
 }
 
 // CompletionReport is a worker's final word on a lease: the cell it ran
@@ -167,12 +202,24 @@ type Status struct {
 	LateAccepts     int `json:"late_accepts"`
 	Quarantined     int `json:"quarantined"`
 	DigestConflicts int `json:"digest_conflicts"`
+	// Adopted counts leases from crashed coordinator incarnations that
+	// survived the outage (re-registered or completed on the orphaned
+	// lease); Replays counts coordinator restarts that replayed a
+	// campaign WAL (including restarts of earlier incarnations, read
+	// back from the log).
+	Adopted int `json:"adopted"`
+	Replays int `json:"replays"`
 
 	Workers []WorkerStatus `json:"workers,omitempty"`
 }
 
-// JournalSchemaVersion identifies the campaign journal layout.
-const JournalSchemaVersion = 1
+// JournalSchemaVersion identifies the campaign journal layout. Version 2
+// added the crash-recovery fields (Adopted, Replays, Replayed); version 1
+// journals read back with those at zero.
+const JournalSchemaVersion = 2
+
+// journalSchemaMin is the oldest journal layout still readable.
+const journalSchemaMin = 1
 
 // JournalKind tags a campaign journal file.
 const JournalKind = "inpg-campaign-journal"
@@ -200,13 +247,21 @@ type Journal struct {
 	// Skipped counts cells satisfied without dispatch (resume hits and
 	// pre-screened estimates).
 	Skipped int `json:"skipped"`
+	// Adopted counts leases that survived a coordinator crash (adopted by
+	// a restarted incarnation instead of reclaimed); Replays counts the
+	// coordinator restarts that replayed the campaign's WAL; Replayed
+	// counts cells resolved at replay time from their on-disk manifests
+	// instead of being re-dispatched.
+	Adopted  int `json:"adopted"`
+	Replays  int `json:"replays"`
+	Replayed int `json:"replayed"`
 }
 
 // Validate checks the journal against its schema.
 func (j *Journal) Validate() error {
 	switch {
-	case j.SchemaVersion != JournalSchemaVersion:
-		return fmt.Errorf("journal: schema_version %d, want %d", j.SchemaVersion, JournalSchemaVersion)
+	case j.SchemaVersion < journalSchemaMin || j.SchemaVersion > JournalSchemaVersion:
+		return fmt.Errorf("journal: schema_version %d, want %d..%d", j.SchemaVersion, journalSchemaMin, JournalSchemaVersion)
 	case j.Kind != JournalKind:
 		return fmt.Errorf("journal: kind %q, want %q", j.Kind, JournalKind)
 	case j.Sweep == "":
@@ -248,7 +303,9 @@ func WriteJournal(dir string, j *Journal) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	return path, os.WriteFile(path, append(data, '\n'), 0o644)
+	// Atomic: the journal is the WAL's compaction — a torn snapshot next
+	// to a sealed log would be worse than no snapshot at all.
+	return path, manifest.WriteFileAtomic(path, append(data, '\n'), 0o644)
 }
 
 // ReadJournal loads and validates a campaign journal from disk.

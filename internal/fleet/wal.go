@@ -1,0 +1,318 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+)
+
+// The campaign write-ahead log.
+//
+// Every dispatch-state transition of a campaign is appended — and
+// fsynced — to campaign-<sweep>.wal in the manifest directory *before*
+// the worker that caused it sees the response. A coordinator that
+// crashes mid-campaign can therefore be restarted against the same
+// directory and reconstruct the queue, the resolved set, the quarantine
+// ledger and the outstanding leases by replaying the log, cross-checked
+// against the per-run manifests (which remain the source of truth for
+// results: a logged acceptance whose manifest never landed is simply
+// re-run, and digest-matched idempotency makes the rerun land on the
+// identical bytes). The campaign-<sweep>.json journal is the log's
+// compaction: it is written first, then the close event seals the log.
+//
+// Replay is deliberately order-tolerant across leases: concurrent
+// handlers append their events outside the coordinator lock, so two
+// events for *different* leases may land in either order. Per lease the
+// order is fixed (grant before adopt before accept/reclaim, because the
+// grant is durable before the worker learns the lease exists), and the
+// replay state machine keys on lease IDs and cell indexes, never on
+// global position.
+
+// EventType tags one WAL record.
+type EventType string
+
+// The WAL event vocabulary.
+const (
+	// EventCampaignOpen is the first record of a fresh campaign: sweep
+	// name, cell count and the full index→digest map, the fingerprint a
+	// restart validates before trusting the log.
+	EventCampaignOpen EventType = "campaign-open"
+	// EventLeaseGranted records a cell handed to a worker, durable
+	// before the lease response is sent.
+	EventLeaseGranted EventType = "lease-granted"
+	// EventLeaseAdopted records a restarted coordinator re-accepting a
+	// lease granted by a previous incarnation (via /fleet/adopt or by a
+	// completion arriving directly on the orphaned lease).
+	EventLeaseAdopted EventType = "lease-adopted"
+	// EventLeaseReclaimed records an expired lease's cell returning to
+	// the queue.
+	EventLeaseReclaimed EventType = "lease-reclaimed"
+	// EventCompletionAccepted records a digest-matched completion being
+	// folded into the campaign (OK or failed; duplicates are dropped
+	// without a record — they change nothing).
+	EventCompletionAccepted EventType = "completion-accepted"
+	// EventCellQuarantined records a cell retired with a typed error
+	// after enough distinct workers failed its digest.
+	EventCellQuarantined EventType = "cell-quarantined"
+	// EventCoordinatorReplayed is appended by each restarted incarnation
+	// after it replayed the log — the durable trace of every outage.
+	EventCoordinatorReplayed EventType = "coordinator-replayed"
+	// EventCampaignClose seals the log after the journal snapshot
+	// (the compaction) was durably written; a closed log is never
+	// replayed.
+	EventCampaignClose EventType = "campaign-close"
+)
+
+// Event is one WAL record. Field use depends on Type; unused fields are
+// omitted from the JSON line.
+type Event struct {
+	Type EventType `json:"type"`
+
+	// Campaign-scoped fields (campaign-open; Sweep on every
+	// campaign-level event for auditability).
+	Sweep   string         `json:"sweep,omitempty"`
+	Cells   int            `json:"cells,omitempty"`
+	Digests map[int]string `json:"digests,omitempty"`
+
+	// Lease- and cell-scoped fields.
+	Lease  string `json:"lease,omitempty"`
+	Index  int    `json:"index"`
+	Worker string `json:"worker,omitempty"`
+	Digest string `json:"digest,omitempty"`
+
+	// Completion fields (completion-accepted, cell-quarantined).
+	OK      bool   `json:"ok,omitempty"`
+	Late    bool   `json:"late,omitempty"`
+	Cause   string `json:"cause,omitempty"`
+	Error   string `json:"error,omitempty"`
+	Attempt int    `json:"attempt,omitempty"`
+
+	// Replay summary fields (coordinator-replayed).
+	Orphans  int `json:"orphans,omitempty"`
+	Resolved int `json:"resolved,omitempty"`
+}
+
+// WALFilename returns the write-ahead log's conventional file name
+// within a sweep output directory. The .wal extension keeps it out of
+// manifest.ScanDir (which matches .json only) and of the journal reader.
+func WALFilename(sweep string) string {
+	return fmt.Sprintf("campaign-%s.wal", sweep)
+}
+
+// WAL is an append-only, fsync-per-record event log. Appends are
+// serialized internally; the coordinator calls Append outside its own
+// lock so fsync latency never blocks unrelated handlers.
+type WAL struct {
+	mu     sync.Mutex
+	f      *os.File
+	path   string
+	closed bool
+}
+
+// OpenWAL opens (creating if needed) the log at path for appending.
+func OpenWAL(path string) (*WAL, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &WAL{f: f, path: path}, nil
+}
+
+// Path returns the log's file path.
+func (w *WAL) Path() string { return w.path }
+
+// Append marshals the event as one JSON line, writes it and fsyncs
+// before returning: once Append returns nil the event survives a crash.
+func (w *WAL) Append(e Event) error {
+	data, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return fmt.Errorf("wal %s: append after close", w.path)
+	}
+	if _, err := w.f.Write(data); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+// Close releases the file handle. Idempotent; it appends nothing — a
+// log is sealed by an EventCampaignClose record, not by closing the fd
+// (a crash closes the fd too).
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	return w.f.Close()
+}
+
+// Failure is one accepted failed completion, reconstructed from the log.
+type Failure struct {
+	Worker  string
+	Cause   string
+	Error   string
+	Attempt int
+}
+
+// Orphan is a lease that was granted (or adopted) by a previous
+// coordinator incarnation and never resolved: its worker may still be
+// executing the cell. A restarted coordinator re-installs orphans so
+// that in-flight work can be adopted instead of redone.
+type Orphan struct {
+	Lease  string
+	Index  int
+	Worker string
+	Digest string
+}
+
+// Replay is the dispatch state reconstructed from a WAL.
+type Replay struct {
+	Sweep   string
+	Cells   int
+	Digests map[int]string
+	// Closed reports an EventCampaignClose record: the campaign finished
+	// and was compacted into the journal snapshot; there is nothing to
+	// resume.
+	Closed bool
+	// Restarts counts coordinator-replayed records: how many prior
+	// incarnations already replayed this log.
+	Restarts int
+	// Events is the number of well-formed records read; TornTail reports
+	// that a final, partially written line was dropped (the signature of
+	// a crash mid-append — everything before it is intact and fsynced).
+	Events   int
+	TornTail bool
+
+	// Grants counts lease-granted records — the floor for the restarted
+	// coordinator's lease sequence, so fresh lease IDs never collide
+	// with replayed ones.
+	Grants int
+	// Accepted counts accepted OK completions per cell index. The cell
+	// is only *resolved* if its manifest is on disk with the matching
+	// digest; an acceptance without a manifest is re-run.
+	Accepted map[int]int
+	// Failures lists accepted failed completions per cell index
+	// (restores the distinct-worker quarantine votes).
+	Failures map[int][]Failure
+	// Quarantined maps retired cells to their final typed failure.
+	Quarantined map[int]*Failure
+	// Dispatches counts grants per cell (restores attempt accounting).
+	Dispatches map[int]int
+	// Orphans are the leases still outstanding at the crash, minus any
+	// whose cell was meanwhile resolved or quarantined.
+	Orphans []Orphan
+
+	Reclaims          int
+	Adoptions         int
+	LateAccepts       int
+	WorkerCompletions map[string]int
+}
+
+// ReplayWAL reads a campaign log and reconstructs its dispatch state.
+// It is read-only and pure: the file's bytes are never modified, so a
+// crash *during* replay changes nothing and the next restart sees the
+// identical log (pinned by test). A torn final line — a crash mid-append
+// — is dropped with TornTail set; corruption anywhere else is an error,
+// because everything before the tail was acknowledged as fsynced and
+// must parse.
+func ReplayWAL(path string) (*Replay, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Replay{
+		Digests:           map[int]string{},
+		Accepted:          map[int]int{},
+		Failures:          map[int][]Failure{},
+		Quarantined:       map[int]*Failure{},
+		Dispatches:        map[int]int{},
+		WorkerCompletions: map[string]int{},
+	}
+	lines := bytes.Split(data, []byte("\n"))
+	// Trim trailing empty fragments (a well-formed log ends with '\n').
+	last := len(lines) - 1
+	for last >= 0 && len(bytes.TrimSpace(lines[last])) == 0 {
+		last--
+	}
+	outstanding := map[string]Orphan{}
+	for i := 0; i <= last; i++ {
+		line := bytes.TrimSpace(lines[i])
+		if len(line) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(line, &e); err != nil {
+			if i == last {
+				rep.TornTail = true
+				break
+			}
+			return nil, fmt.Errorf("wal %s: corrupt record %d (not the tail): %w", path, i+1, err)
+		}
+		rep.Events++
+		switch e.Type {
+		case EventCampaignOpen:
+			if rep.Sweep != "" {
+				return nil, fmt.Errorf("wal %s: duplicate campaign-open (record %d)", path, i+1)
+			}
+			rep.Sweep, rep.Cells = e.Sweep, e.Cells
+			for idx, d := range e.Digests {
+				rep.Digests[idx] = d
+			}
+		case EventLeaseGranted:
+			rep.Grants++
+			rep.Dispatches[e.Index]++
+			outstanding[e.Lease] = Orphan{Lease: e.Lease, Index: e.Index, Worker: e.Worker, Digest: e.Digest}
+		case EventLeaseAdopted:
+			rep.Adoptions++
+			outstanding[e.Lease] = Orphan{Lease: e.Lease, Index: e.Index, Worker: e.Worker, Digest: e.Digest}
+		case EventLeaseReclaimed:
+			rep.Reclaims++
+			delete(outstanding, e.Lease)
+		case EventCompletionAccepted:
+			delete(outstanding, e.Lease)
+			if e.Late {
+				rep.LateAccepts++
+			}
+			if e.OK {
+				rep.Accepted[e.Index]++
+				rep.WorkerCompletions[e.Worker]++
+			} else {
+				rep.Failures[e.Index] = append(rep.Failures[e.Index],
+					Failure{Worker: e.Worker, Cause: e.Cause, Error: e.Error, Attempt: e.Attempt})
+			}
+		case EventCellQuarantined:
+			rep.Quarantined[e.Index] = &Failure{Worker: e.Worker, Cause: e.Cause, Error: e.Error, Attempt: e.Attempt}
+		case EventCoordinatorReplayed:
+			rep.Restarts++
+		case EventCampaignClose:
+			rep.Closed = true
+		default:
+			return nil, fmt.Errorf("wal %s: unknown event type %q (record %d)", path, e.Type, i+1)
+		}
+	}
+	if rep.Events > 0 && rep.Sweep == "" {
+		return nil, fmt.Errorf("wal %s: first record is not campaign-open", path)
+	}
+	// A lease whose cell was meanwhile resolved or quarantined is moot:
+	// its worker's eventual completion will be deduplicated by digest.
+	for id, o := range outstanding {
+		if rep.Accepted[o.Index] > 0 || rep.Quarantined[o.Index] != nil {
+			delete(outstanding, id)
+		}
+	}
+	for _, o := range outstanding {
+		rep.Orphans = append(rep.Orphans, o)
+	}
+	sort.Slice(rep.Orphans, func(i, j int) bool { return rep.Orphans[i].Lease < rep.Orphans[j].Lease })
+	return rep, nil
+}

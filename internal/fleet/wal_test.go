@@ -1,0 +1,212 @@
+package fleet
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// walPath creates a WAL in a temp dir and returns its path.
+func walPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), WALFilename("w"))
+}
+
+// appendAll writes a sequence of events through a fresh WAL handle.
+func appendAll(t *testing.T, path string, events ...Event) {
+	t.Helper()
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	for _, e := range events {
+		if err := w.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestWALReplayRoundTrip: a full campaign's event sequence replays into
+// the dispatch state the events describe — grants, acceptances,
+// failures, reclaims, adoptions, quarantine and the surviving orphan.
+func TestWALReplayRoundTrip(t *testing.T) {
+	path := walPath(t)
+	appendAll(t, path,
+		Event{Type: EventCampaignOpen, Sweep: "w", Cells: 4,
+			Digests: map[int]string{0: "d0", 1: "d1", 2: "d2", 3: "d3"}},
+		Event{Type: EventLeaseGranted, Sweep: "w", Lease: "w-0000-1", Index: 0, Worker: "a", Digest: "d0"},
+		Event{Type: EventLeaseGranted, Sweep: "w", Lease: "w-0001-2", Index: 1, Worker: "b", Digest: "d1"},
+		Event{Type: EventCompletionAccepted, Sweep: "w", Lease: "w-0000-1", Index: 0, Worker: "a", Digest: "d0", OK: true},
+		Event{Type: EventLeaseReclaimed, Sweep: "w", Lease: "w-0001-2", Index: 1, Worker: "b"},
+		Event{Type: EventLeaseGranted, Sweep: "w", Lease: "w-0001-3", Index: 1, Worker: "a", Digest: "d1"},
+		Event{Type: EventCompletionAccepted, Sweep: "w", Lease: "w-0001-3", Index: 1, Worker: "a", Digest: "d1", OK: true, Late: true},
+		Event{Type: EventLeaseGranted, Sweep: "w", Lease: "w-0002-4", Index: 2, Worker: "b", Digest: "d2"},
+		Event{Type: EventCompletionAccepted, Sweep: "w", Lease: "w-0002-4", Index: 2, Worker: "b", Digest: "d2",
+			OK: false, Cause: "error", Error: "boom", Attempt: 1},
+		Event{Type: EventCellQuarantined, Sweep: "w", Index: 2, Worker: "b", Digest: "d2",
+			Cause: "error", Error: "boom", Attempt: 1},
+		Event{Type: EventLeaseGranted, Sweep: "w", Lease: "w-0003-5", Index: 3, Worker: "b", Digest: "d3"},
+	)
+	rep, err := ReplayWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sweep != "w" || rep.Cells != 4 || rep.Closed || rep.TornTail {
+		t.Fatalf("replay header = %+v", rep)
+	}
+	if rep.Grants != 5 || rep.Reclaims != 1 || rep.LateAccepts != 1 {
+		t.Fatalf("counters: grants=%d reclaims=%d late=%d", rep.Grants, rep.Reclaims, rep.LateAccepts)
+	}
+	if rep.Accepted[0] != 1 || rep.Accepted[1] != 1 || rep.Accepted[2] != 0 {
+		t.Fatalf("accepted = %v", rep.Accepted)
+	}
+	if rep.Dispatches[1] != 2 {
+		t.Fatalf("dispatches[1] = %d, want 2", rep.Dispatches[1])
+	}
+	if q := rep.Quarantined[2]; q == nil || q.Cause != "error" || q.Error != "boom" {
+		t.Fatalf("quarantined[2] = %+v", rep.Quarantined[2])
+	}
+	if len(rep.Failures[2]) != 1 || rep.Failures[2][0].Worker != "b" {
+		t.Fatalf("failures[2] = %+v", rep.Failures[2])
+	}
+	// Only cell 3's lease survives: 0/1 were accepted, 2 quarantined.
+	if len(rep.Orphans) != 1 || rep.Orphans[0].Lease != "w-0003-5" ||
+		rep.Orphans[0].Index != 3 || rep.Orphans[0].Worker != "b" || rep.Orphans[0].Digest != "d3" {
+		t.Fatalf("orphans = %+v", rep.Orphans)
+	}
+	if rep.WorkerCompletions["a"] != 2 || rep.WorkerCompletions["b"] != 0 {
+		t.Fatalf("worker completions = %v", rep.WorkerCompletions)
+	}
+}
+
+// TestWALReplayTornTail: a crash mid-append leaves a final partial line;
+// replay drops exactly that line, keeps everything before it, and flags
+// TornTail. Replay is also pure — the file's bytes are untouched, so a
+// crash *during* replay leaves the identical log for the next restart.
+func TestWALReplayTornTail(t *testing.T) {
+	path := walPath(t)
+	appendAll(t, path,
+		Event{Type: EventCampaignOpen, Sweep: "w", Cells: 1, Digests: map[int]string{0: "d0"}},
+		Event{Type: EventLeaseGranted, Sweep: "w", Lease: "L1", Index: 0, Worker: "a", Digest: "d0"},
+	)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"type":"completion-acc`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := ReplayWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.TornTail || rep.Events != 2 {
+		t.Fatalf("torn replay = events %d torn %v", rep.Events, rep.TornTail)
+	}
+	if len(rep.Orphans) != 1 || rep.Orphans[0].Lease != "L1" {
+		t.Fatalf("orphans after torn tail = %+v", rep.Orphans)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Fatal("replay modified the log file")
+	}
+	// Replay again: same answer — a crash during replay changes nothing.
+	rep2, err := ReplayWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Events != rep.Events || !rep2.TornTail || len(rep2.Orphans) != 1 {
+		t.Fatalf("second replay diverged: %+v", rep2)
+	}
+}
+
+// TestWALReplayMidFileCorruption: everything before the tail was
+// acknowledged as fsynced, so a corrupt record that is NOT the last line
+// is an error, never silently skipped.
+func TestWALReplayMidFileCorruption(t *testing.T) {
+	path := walPath(t)
+	appendAll(t, path,
+		Event{Type: EventCampaignOpen, Sweep: "w", Cells: 1, Digests: map[int]string{0: "d0"}},
+	)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("{garbage\n"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	appendAll(t, path,
+		Event{Type: EventLeaseGranted, Sweep: "w", Lease: "L1", Index: 0, Worker: "a", Digest: "d0"},
+	)
+	if _, err := ReplayWAL(path); err == nil || !strings.Contains(err.Error(), "corrupt record") {
+		t.Fatalf("mid-file corruption error = %v, want corrupt record", err)
+	}
+}
+
+// TestWALReplayRejectsMalformedLogs: a log not starting with
+// campaign-open, a duplicate open, and an unknown event type are all
+// hard errors.
+func TestWALReplayRejectsMalformedLogs(t *testing.T) {
+	noOpen := walPath(t)
+	appendAll(t, noOpen,
+		Event{Type: EventLeaseGranted, Sweep: "w", Lease: "L1", Index: 0, Worker: "a", Digest: "d0"},
+	)
+	if _, err := ReplayWAL(noOpen); err == nil || !strings.Contains(err.Error(), "campaign-open") {
+		t.Fatalf("missing open error = %v", err)
+	}
+
+	dupOpen := walPath(t)
+	appendAll(t, dupOpen,
+		Event{Type: EventCampaignOpen, Sweep: "w", Cells: 1, Digests: map[int]string{0: "d0"}},
+		Event{Type: EventCampaignOpen, Sweep: "w", Cells: 1, Digests: map[int]string{0: "d0"}},
+	)
+	if _, err := ReplayWAL(dupOpen); err == nil || !strings.Contains(err.Error(), "duplicate campaign-open") {
+		t.Fatalf("duplicate open error = %v", err)
+	}
+
+	unknown := walPath(t)
+	appendAll(t, unknown,
+		Event{Type: EventCampaignOpen, Sweep: "w", Cells: 1, Digests: map[int]string{0: "d0"}},
+		Event{Type: EventType("mystery"), Sweep: "w"},
+	)
+	if _, err := ReplayWAL(unknown); err == nil || !strings.Contains(err.Error(), "unknown event type") {
+		t.Fatalf("unknown type error = %v", err)
+	}
+}
+
+// TestWALClosedAndAdoption: a close event marks the log sealed; an
+// adoption re-keys the outstanding lease so a later acceptance on the
+// adopted lease clears it.
+func TestWALClosedAndAdoption(t *testing.T) {
+	path := walPath(t)
+	appendAll(t, path,
+		Event{Type: EventCampaignOpen, Sweep: "w", Cells: 1, Digests: map[int]string{0: "d0"}},
+		Event{Type: EventLeaseGranted, Sweep: "w", Lease: "L1", Index: 0, Worker: "a", Digest: "d0"},
+		Event{Type: EventCoordinatorReplayed, Sweep: "w", Orphans: 1},
+		Event{Type: EventLeaseAdopted, Sweep: "w", Lease: "L1", Index: 0, Worker: "a", Digest: "d0"},
+		Event{Type: EventCompletionAccepted, Sweep: "w", Lease: "L1", Index: 0, Worker: "a", Digest: "d0", OK: true},
+		Event{Type: EventCampaignClose, Sweep: "w"},
+	)
+	rep, err := ReplayWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Closed || rep.Restarts != 1 || rep.Adoptions != 1 {
+		t.Fatalf("replay = closed %v restarts %d adoptions %d", rep.Closed, rep.Restarts, rep.Adoptions)
+	}
+	if len(rep.Orphans) != 0 {
+		t.Fatalf("orphans = %+v, want none (accepted)", rep.Orphans)
+	}
+}

@@ -49,6 +49,9 @@ type WorkerConfig struct {
 	// the coordinator is unreachable.
 	ReconnectBase time.Duration
 	ReconnectMax  time.Duration
+	// Token is the fleet's shared bearer secret; sent as
+	// "Authorization: Bearer <token>" on every request when non-empty.
+	Token string
 
 	// ChaosKillAfter, when > 0, kills the worker (via Exit) immediately
 	// after it acquires its Nth lease — mid-lease, before completing —
@@ -66,6 +69,9 @@ type WorkerConfig struct {
 	// Exit is called to kill the process on chaos kill (default
 	// os.Exit); tests inject a recorder so the "kill" stays in-process.
 	Exit func(code int)
+	// Sleep overrides the blocking waits in the poll/reconnect/deliver
+	// loops (tests drive them with a fake clock); nil selects time.Sleep.
+	Sleep func(d time.Duration)
 	// Log, when set, receives structured worker lifecycle records; every
 	// record carries a "worker" attribute and lease-scoped records add
 	// cell/lease/digest. Nil discards.
@@ -124,6 +130,9 @@ func NewWorker(cfg WorkerConfig) *Worker {
 	}
 	if cfg.Exit == nil {
 		cfg.Exit = os.Exit
+	}
+	if cfg.Sleep == nil {
+		cfg.Sleep = time.Sleep
 	}
 	client := cfg.HTTPClient
 	if client == nil {
@@ -186,7 +195,7 @@ func (w *Worker) slotLoop(slot int) {
 				w.log.Warn("coordinator unreachable; retrying",
 					"tries", connectFails, "err", err, "retry_in", d)
 			}
-			time.Sleep(d)
+			w.cfg.Sleep(d)
 			continue
 		}
 		if connectFails > 0 {
@@ -198,7 +207,7 @@ func (w *Worker) slotLoop(slot int) {
 			return
 		}
 		if resp.Lease == nil {
-			time.Sleep(w.cfg.PollInterval)
+			w.cfg.Sleep(w.cfg.PollInterval)
 			continue
 		}
 		n := w.leasesAcquired.Add(1)
@@ -252,7 +261,11 @@ func (w *Worker) execute(l *Lease) {
 
 // heartbeatLoop renews the lease at TTL/3 until stopped or the
 // coordinator reports the lease gone (the run keeps going either way:
-// a digest-matched late completion is still worth delivering).
+// a digest-matched late completion is still worth delivering). A
+// Reannounce answer — a restarted coordinator replayed this lease from
+// its log — triggers the adoption handshake: the worker re-registers the
+// cell it holds (index + digest + attempt) so the new incarnation can
+// cross-check and adopt it instead of reclaiming and redoing the work.
 func (w *Worker) heartbeatLoop(l *Lease, stop chan struct{}) {
 	interval := time.Duration(l.TTLMillis) * time.Millisecond / 3
 	if interval < time.Millisecond {
@@ -273,6 +286,14 @@ func (w *Worker) heartbeatLoop(l *Lease, stop chan struct{}) {
 			if err != nil || status/100 != 2 {
 				continue // transient; the next tick retries
 			}
+			if resp.Reannounce {
+				if !w.adopt(l) {
+					w.log.Info("lease not adopted after coordinator restart; finishing anyway",
+						"lease", l.ID, "cell", l.Index)
+					return
+				}
+				continue
+			}
 			if resp.Gone {
 				w.log.Info("lease gone (cell reclaimed); finishing anyway",
 					"lease", l.ID, "cell", l.Index)
@@ -280,6 +301,27 @@ func (w *Worker) heartbeatLoop(l *Lease, stop chan struct{}) {
 			}
 		}
 	}
+}
+
+// adopt re-registers a held lease with a restarted coordinator. A
+// transient delivery failure reports success (true) so the heartbeat
+// loop keeps running and the next Reannounce retries the handshake; a
+// definitive Gone reports false.
+func (w *Worker) adopt(l *Lease) bool {
+	var resp AdoptResponse
+	status, err := w.postJSON(PathAdopt, AdoptRequest{
+		Worker: w.cfg.ID, LeaseID: l.ID, Sweep: l.Sweep,
+		Index: l.Index, Digest: l.Digest,
+	}, &resp)
+	if err != nil || status/100 != 2 {
+		return true // transient; the next heartbeat re-announces
+	}
+	if resp.Adopted {
+		w.log.Info("lease adopted by restarted coordinator",
+			"lease", l.ID, "cell", l.Index)
+		return true
+	}
+	return false
 }
 
 // deliver sends a completion report until the coordinator acknowledges
@@ -299,7 +341,7 @@ func (w *Worker) deliver(l *Lease, rep CompletionReport) {
 			return
 		case err != nil || status/100 != 2:
 			connectFails++
-			time.Sleep(reconnectDelay(connectFails, w.cfg.ReconnectBase, w.cfg.ReconnectMax))
+			w.cfg.Sleep(reconnectDelay(connectFails, w.cfg.ReconnectBase, w.cfg.ReconnectMax))
 			continue
 		}
 		connectFails = 0
@@ -345,14 +387,23 @@ func reconnectDelay(fails int, base, max time.Duration) time.Duration {
 	return d
 }
 
-// postJSON posts a JSON body to the coordinator and decodes the JSON
-// response into out (when non-nil and the status is 2xx).
+// postJSON posts a JSON body to the coordinator (with the bearer token
+// when configured) and decodes the JSON response into out (when non-nil
+// and the status is 2xx).
 func (w *Worker) postJSON(path string, in, out any) (int, error) {
 	body, err := json.Marshal(in)
 	if err != nil {
 		return 0, err
 	}
-	resp, err := w.client.Post(w.cfg.Coordinator+path, "application/json", bytes.NewReader(body))
+	req, err := http.NewRequest(http.MethodPost, w.cfg.Coordinator+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if w.cfg.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+w.cfg.Token)
+	}
+	resp, err := w.client.Do(req)
 	if err != nil {
 		return 0, err
 	}

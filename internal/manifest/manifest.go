@@ -473,7 +473,53 @@ func (m *Manifest) WriteFile(dir string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	return path, os.WriteFile(path, append(data, '\n'), 0o644)
+	return path, WriteFileAtomic(path, append(data, '\n'), 0o644)
+}
+
+// WriteFileAtomic writes data to path so that a crash — of the writer or
+// the whole host — can never leave a torn file under the final name: the
+// bytes land in a dot-prefixed temp file in the same directory, are
+// fsynced, and only then renamed over path (a same-directory rename is
+// atomic on POSIX). The dot prefix and non-.json extension keep an
+// orphaned temp file — a crash between write and rename — invisible to
+// ScanDir and inpgvalidate, so it can never be quarantined as .bad or
+// mistaken for a manifest. The directory is fsynced best-effort so the
+// rename itself is durable too.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Chmod(tmpName, perm); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
 }
 
 // ScanDir loads every valid manifest for the named sweep from dir, keyed

@@ -264,3 +264,67 @@ func TestScanDirQuarantinesCorruptManifests(t *testing.T) {
 		}
 	}
 }
+
+// TestWriteFileAtomicNoTornWrites pins the crash-safety contract of
+// every artifact write: an overwrite never mixes old and new bytes, a
+// crash between temp-write and rename leaves only a dot-prefixed temp
+// file, and such an orphan is invisible to ScanDir — never warned about,
+// never quarantined as .bad.
+func TestWriteFileAtomicNoTornWrites(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "manifest-fig2-0001.json")
+	long := []byte(`{"a":"` + strings.Repeat("x", 4096) + `"}`)
+	if err := WriteFileAtomic(path, long, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite with strictly shorter content: a torn (in-place,
+	// truncate-then-write) implementation would leave a tail of the old
+	// bytes on crash; atomic replace leaves exactly the new content.
+	short := []byte(`{"b":1}`)
+	if err := WriteFileAtomic(path, short, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(short) {
+		t.Fatalf("overwrite left %d bytes, want %q", len(got), short)
+	}
+	// No temp residue after a successful write.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("dir entries after write = %d, want 1 (no temp residue)", len(entries))
+	}
+
+	// A crash between write and rename: an orphaned temp file with the
+	// same naming scheme WriteFileAtomic uses. ScanDir must not see it.
+	orphan := filepath.Join(dir, ".manifest-fig2-0002.json.tmp-12345")
+	if err := os.WriteFile(orphan, []byte(`{"schema_ver`), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	cfg, sys, res := smallRun(t)
+	m := Build("fig2", 1, cfg, res, sys.MetricsSnapshot(), 0.25, nil)
+	if _, err := m.WriteFile(dir); err != nil {
+		t.Fatal(err)
+	}
+	found, warnings, err := ScanDir(dir, "fig2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(found) != 1 || found[1] == nil {
+		t.Fatalf("found = %v, want only index 1", found)
+	}
+	if len(warnings) != 0 {
+		t.Fatalf("orphaned temp file triggered warnings: %v", warnings)
+	}
+	if _, err := os.Stat(orphan); err != nil {
+		t.Fatalf("orphaned temp file was touched: %v", err)
+	}
+	if _, err := os.Stat(orphan + ".bad"); !os.IsNotExist(err) {
+		t.Fatal("orphaned temp file was quarantined as .bad")
+	}
+}

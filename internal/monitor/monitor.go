@@ -329,6 +329,8 @@ func (m *Monitor) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		gauges["fleet.late_accepts"] = float64(fs.LateAccepts)
 		gauges["fleet.quarantined"] = float64(fs.Quarantined)
 		gauges["fleet.digest_conflicts"] = float64(fs.DigestConflicts)
+		gauges["fleet.adopted"] = float64(fs.Adopted)
+		gauges["fleet.replays"] = float64(fs.Replays)
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	metrics.WritePrometheus(w, st.Counters, gauges)
@@ -363,6 +365,10 @@ func (m *Monitor) handleText(w http.ResponseWriter, r *http.Request) {
 			fs.Sweep, fs.Completed, fs.Cells, fs.LeasesOutstanding)
 		fmt.Fprintf(&b, "fleet: reclaimed %d, duplicates %d, late accepts %d, quarantined %d, digest conflicts %d\n",
 			fs.Reclaims, fs.Duplicates, fs.LateAccepts, fs.Quarantined, fs.DigestConflicts)
+		if fs.Replays > 0 || fs.Adopted > 0 {
+			fmt.Fprintf(&b, "fleet: coordinator replays %d, leases adopted across restarts %d\n",
+				fs.Replays, fs.Adopted)
+		}
 		for _, fw := range fs.Workers {
 			fmt.Fprintf(&b, "fleet worker %-24s last seen %5.1fs ago, %d leases held, %d completed, %d failed\n",
 				fw.ID, fw.LastSeenSeconds, fw.Leases, fw.Completed, fw.Failed)
